@@ -1,0 +1,501 @@
+// Package ccahydro's root benchmark harness: one testing.B benchmark
+// per table and figure of the paper's evaluation, plus ablation
+// benches for the design choices called out in DESIGN.md. Run with
+//
+//	go test -bench=. -benchmem
+//
+// The full parameter sweeps (and the printed tables that mirror the
+// paper's) live in cmd/experiments; these benches exercise the same
+// code paths at benchmark-friendly sizes.
+package ccahydro
+
+import (
+	"math"
+	"testing"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/bench"
+	"ccahydro/internal/cca"
+	"ccahydro/internal/chem"
+	"ccahydro/internal/components"
+	"ccahydro/internal/core"
+	"ccahydro/internal/cvode"
+	"ccahydro/internal/euler"
+	"ccahydro/internal/field"
+	"ccahydro/internal/mpi"
+	"ccahydro/internal/rkc"
+)
+
+// ---- Table 4: component vs direct-call serial performance ------------------
+
+// BenchmarkTable4Component times the component-assembled 0D code: the
+// integrator reaches the chemistry through CCA ports. Compare directly
+// against BenchmarkTable4Direct (identical algorithm, concrete calls).
+func BenchmarkTable4Component(b *testing.B) {
+	repo := components.NewRepository()
+	f := cca.NewFramework(repo, nil)
+	for _, p := range [][3]string{{"chem", "mech", "h2air-lite"}} {
+		if err := f.SetParameter(p[0], p[1], p[2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, inst := range [][2]string{
+		{"ThermoChemistry", "chem"}, {"DPDt", "dpdt"},
+		{"ProblemModeler", "model"}, {"CvodeComponent", "cvode"},
+	} {
+		if err := f.Instantiate(inst[0], inst[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, w := range [][4]string{
+		{"dpdt", "chemistry", "chem", "chemistry"},
+		{"model", "chemistry", "chem", "chemistry"},
+		{"model", "dpdt", "dpdt", "dpdt"},
+		{"cvode", "rhs", "model", "rhs"},
+	} {
+		if err := f.Connect(w[0], w[1], w[2], w[3]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	comp, _ := f.Lookup("cvode")
+	integ := comp.(*components.CvodeComponent)
+	chemComp, _ := f.Lookup("chem")
+	mech := chemComp.(*components.ThermoChemistry).Mechanism()
+	n := mech.NumSpecies()
+	y0 := make([]float64, n+2)
+	y0[0] = 1000
+	copy(y0[1:1+n], mech.StoichiometricH2Air())
+	y0[1+n] = chem.PAtm
+	y := make([]float64, len(y0))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < 50; c++ {
+			copy(y, y0)
+			if _, err := integ.IntegrateTo(0, 2e-6, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// table4DirectRHS is the direct-call ("C-code") configuration.
+func table4Direct(b *testing.B, cells int) {
+	mech := chem.H2AirLite()
+	ws := chem.NewSourceWorkspace(mech)
+	n := mech.NumSpecies()
+	rhs := func(_ float64, y, ydot []float64) {
+		T := y[0]
+		if T < 200 {
+			T = 200
+		}
+		rho := mech.Density(y[1+n], T, y[1:1+n])
+		ydot[0] = mech.ConstVolumeSource(T, rho, y[1:1+n], ydot[1:1+n], ws)
+		ydot[1+n] = mech.DPDt(rho, T, ydot[0], y[1:1+n], ydot[1:1+n])
+	}
+	s := cvode.New(n+2, rhs, cvode.Options{RelTol: 1e-8, AbsTol: 1e-12})
+	y0 := make([]float64, n+2)
+	y0[0] = 1000
+	copy(y0[1:1+n], mech.StoichiometricH2Air())
+	y0[1+n] = chem.PAtm
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < cells; c++ {
+			s.Init(0, y0)
+			if err := s.Integrate(2e-6); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable4Direct is the baseline the paper calls the "C-code".
+func BenchmarkTable4Direct(b *testing.B) { table4Direct(b, 50) }
+
+// ---- Table 5 / Fig 8: weak scaling on the simulated cluster ----------------
+
+var benchCosts = bench.CellCosts{ColdChem: 5e-5, HotChem: 1.3e-4, DiffStage: 8e-6, DMax: 3e-3, HotT: 800}
+
+func weakScaling(b *testing.B, perProc int) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bench.RunScaling(bench.ScalingConfig{P: 8, PerProcN: perProc, Costs: benchCosts})
+		if r.Time <= 0 {
+			b.Fatal("no virtual time")
+		}
+	}
+}
+
+// BenchmarkTable5Weak50 etc. run the constant-per-processor-workload
+// configuration (paper Table 5 rows) at P=8.
+func BenchmarkTable5Weak50(b *testing.B)  { weakScaling(b, 50) }
+func BenchmarkTable5Weak100(b *testing.B) { weakScaling(b, 100) }
+func BenchmarkTable5Weak175(b *testing.B) { weakScaling(b, 175) }
+
+// ---- Fig 9: strong scaling ---------------------------------------------------
+
+func strongScaling(b *testing.B, global, p int) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := bench.RunScaling(bench.ScalingConfig{P: p, GlobalNx: global, GlobalNy: global, Costs: benchCosts})
+		if r.Time <= 0 {
+			b.Fatal("no virtual time")
+		}
+	}
+}
+
+// BenchmarkFig9Strong200P16 and friends are points on the paper's
+// constant-global-size curves.
+func BenchmarkFig9Strong200P16(b *testing.B) { strongScaling(b, 200, 16) }
+func BenchmarkFig9Strong350P16(b *testing.B) { strongScaling(b, 350, 16) }
+
+// ---- Fig 3 / Fig 4: one flame macro step ------------------------------------
+
+// BenchmarkFig3FlameStep times one operator-split reaction-diffusion
+// macro step (chemistry in every cell + RKC diffusion) on a 24x24
+// 2-level hierarchy — the unit of work behind the paper's flame frames.
+func BenchmarkFig3FlameStep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, err := core.RunReactionDiffusion(nil,
+			core.Param{Instance: "grace", Key: "nx", Value: "24"},
+			core.Param{Instance: "grace", Key: "ny", Value: "24"},
+			core.Param{Instance: "grace", Key: "maxLevels", Value: "2"},
+			core.Param{Instance: "driver", Key: "steps", Value: "1"},
+			core.Param{Instance: "driver", Key: "dt", Value: "1e-7"},
+			core.Param{Instance: "driver", Key: "regridEvery", Value: "1"},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Fig 6 / Fig 7: shock-interface work units --------------------------------
+
+// BenchmarkFig7ShockRun times a short AMR Godunov run with the
+// circulation diagnostic — the work unit behind the Fig 6/7 curves.
+func BenchmarkFig7ShockRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, err := core.RunShockInterface(nil, "GodunovFlux",
+			core.Param{Instance: "grace", Key: "nx", Value: "48"},
+			core.Param{Instance: "grace", Key: "ny", Value: "24"},
+			core.Param{Instance: "grace", Key: "lx", Value: "2.0"},
+			core.Param{Instance: "grace", Key: "ly", Value: "1.0"},
+			core.Param{Instance: "grace", Key: "maxLevels", Value: "2"},
+			core.Param{Instance: "driver", Key: "tEnd", Value: "0.05"},
+			core.Param{Instance: "driver", Key: "maxSteps", Value: "20"},
+			core.Param{Instance: "driver", Key: "regridEvery", Value: "5"},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation: port dispatch vs direct call ----------------------------------
+//
+// Isolates the mechanism Table 4 measures: the cost of one method
+// invocation through a connected CCA port vs a direct concrete call vs
+// a closure call.
+
+type adderPort interface{ Add(a, b float64) float64 }
+
+type adderComp struct{}
+
+func (a *adderComp) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(a, "sum", "bench.AdderPort")
+}
+
+//go:noinline
+func (a *adderComp) Add(x, y float64) float64 { return x + y }
+
+type adderUser struct {
+	svc  cca.Services
+	port adderPort
+}
+
+func (u *adderUser) SetServices(svc cca.Services) error {
+	u.svc = svc
+	return svc.RegisterUsesPort("calc", "bench.AdderPort")
+}
+
+func BenchmarkAblationPortDispatch(b *testing.B) {
+	repo := cca.NewRepository()
+	repo.Register("Adder", func() cca.Component { return &adderComp{} })
+	repo.Register("User", func() cca.Component { return &adderUser{} })
+	f := cca.NewFramework(repo, nil)
+	if err := f.Instantiate("Adder", "a"); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Instantiate("User", "u"); err != nil {
+		b.Fatal(err)
+	}
+	if err := f.Connect("u", "calc", "a", "sum"); err != nil {
+		b.Fatal(err)
+	}
+	comp, _ := f.Lookup("u")
+	u := comp.(*adderUser)
+	p, err := u.svc.GetPort("calc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	u.port = p.(adderPort)
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = u.port.Add(acc, 1)
+	}
+	sink = acc
+}
+
+func BenchmarkAblationDirectCall(b *testing.B) {
+	a := &adderComp{}
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = a.Add(acc, 1)
+	}
+	sink = acc
+}
+
+func BenchmarkAblationClosureCall(b *testing.B) {
+	a := &adderComp{}
+	fn := func(x, y float64) float64 { return a.Add(x, y) }
+	var acc float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = fn(acc, 1)
+	}
+	sink = acc
+}
+
+var sink float64
+
+// ---- Ablation: Godunov vs EFM flux cost ---------------------------------------
+
+func fluxBench(b *testing.B, flux euler.FluxFunc) {
+	g := euler.Gas{Gamma: 1.4}
+	l := euler.Primitive{Rho: 1, U: 0.3, P: 1, Zeta: 0}
+	r := euler.Primitive{Rho: 0.5, U: -0.2, P: 0.7, Zeta: 1}
+	var acc euler.Conserved
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc = flux(g, l, r)
+	}
+	sink = acc[0]
+}
+
+// BenchmarkAblationGodunovFlux vs BenchmarkAblationEFMFlux: the cost of
+// the exact Riemann solution vs the kinetic splitting the paper swaps in.
+func BenchmarkAblationGodunovFlux(b *testing.B) { fluxBench(b, euler.GodunovFlux) }
+func BenchmarkAblationEFMFlux(b *testing.B)     { fluxBench(b, euler.EFMFlux) }
+func BenchmarkAblationHLLCFlux(b *testing.B)    { fluxBench(b, euler.HLLCFlux) }
+
+// ---- Ablation: clustering efficiency threshold ---------------------------------
+
+func clusterBench(b *testing.B, efficiency float64) {
+	ff := amr.NewFlagField(amr.NewBox(0, 0, 255, 255))
+	// An annulus of flags (flame-front-like).
+	for j := 0; j < 256; j++ {
+		for i := 0; i < 256; i++ {
+			r := math.Hypot(float64(i-128), float64(j-128))
+			if r > 60 && r < 70 {
+				ff.Set(i, j)
+			}
+		}
+	}
+	opt := amr.ClusterOptions{Efficiency: efficiency, MaxBoxCells: 4096, MinWidth: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boxes := amr.Cluster(ff, opt)
+		if len(boxes) == 0 {
+			b.Fatal("no boxes")
+		}
+	}
+}
+
+// Clustering threshold sweep: low efficiency gives few fat boxes, high
+// efficiency gives many tight ones.
+func BenchmarkAblationCluster50(b *testing.B) { clusterBench(b, 0.5) }
+func BenchmarkAblationCluster70(b *testing.B) { clusterBench(b, 0.7) }
+func BenchmarkAblationCluster90(b *testing.B) { clusterBench(b, 0.9) }
+
+// ---- Ablation: greedy vs SFC load balancing ------------------------------------
+
+func balanceBench(b *testing.B, bal amr.LoadBalancer) {
+	var boxes []amr.Box
+	for j := 0; j < 16; j++ {
+		for i := 0; i < 16; i++ {
+			boxes = append(boxes, amr.NewBox(i*16, j*16, i*16+15+i%3, j*16+15))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		owners := bal.Assign(boxes, 1, 16, nil)
+		if len(owners) != len(boxes) {
+			b.Fatal("bad assignment")
+		}
+	}
+}
+
+func BenchmarkAblationGreedyBalance(b *testing.B) { balanceBench(b, amr.GreedyBalancer{}) }
+func BenchmarkAblationSFCBalance(b *testing.B)    { balanceBench(b, amr.SFCBalancer{}) }
+
+// ---- Ablation: RKC vs fixed-step RK2 on a stiff diffusion operator -------------
+
+func diffusionOperator(n int, d, dx float64) (rkc.RHS, rkc.SpectralRadius, []float64) {
+	inv := d / (dx * dx)
+	f := func(_ float64, y, ydot []float64) {
+		for i := 0; i < n; i++ {
+			var l, r float64
+			if i > 0 {
+				l = y[i-1]
+			}
+			if i < n-1 {
+				r = y[i+1]
+			}
+			ydot[i] = inv * (l - 2*y[i] + r)
+		}
+	}
+	rho := func(_ float64, _ []float64) float64 { return 4 * inv }
+	y0 := make([]float64, n)
+	for i := range y0 {
+		y0[i] = math.Sin(math.Pi * float64(i+1) / float64(n+1))
+	}
+	return f, rho, y0
+}
+
+// BenchmarkAblationRKCDiffusion integrates a stiff 1D diffusion system
+// with RKC (stabilized stages).
+func BenchmarkAblationRKCDiffusion(b *testing.B) {
+	n := 255
+	f, rho, y0 := diffusionOperator(n, 1, 1.0/256)
+	for i := 0; i < b.N; i++ {
+		s := rkc.New(n, f, rho, rkc.Options{RelTol: 1e-5, AbsTol: 1e-8})
+		s.Init(0, y0)
+		if err := s.Integrate(1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRK2Diffusion integrates the same system with
+// explicit RK2 at its stability limit (the cost RKC's extended
+// stability interval avoids).
+func BenchmarkAblationRK2Diffusion(b *testing.B) {
+	n := 255
+	f, _, y0 := diffusionOperator(n, 1, 1.0/256)
+	dx := 1.0 / 256
+	dtStable := 0.4 * dx * dx // explicit diffusion limit
+	for i := 0; i < b.N; i++ {
+		y := append([]float64(nil), y0...)
+		k1 := make([]float64, n)
+		k2 := make([]float64, n)
+		tmp := make([]float64, n)
+		for t := 0.0; t < 1e-3; t += dtStable {
+			f(t, y, k1)
+			for j := range tmp {
+				tmp[j] = y[j] + dtStable*k1[j]
+			}
+			f(t, tmp, k2)
+			for j := range y {
+				y[j] += 0.5 * dtStable * (k1[j] + k2[j])
+			}
+		}
+		sink = y[n/2]
+	}
+}
+
+// ---- Ablation: BDF order cap on ignition stiffness ------------------------------
+
+func bdfOrderBench(b *testing.B, maxOrder int) {
+	mech := chem.H2AirLite()
+	ws := chem.NewSourceWorkspace(mech)
+	n := mech.NumSpecies()
+	rhs := func(_ float64, y, ydot []float64) {
+		T := y[0]
+		if T < 200 {
+			T = 200
+		}
+		ydot[0] = mech.ConstPressureSource(T, chem.PAtm, y[1:1+n], ydot[1:1+n], ws)
+	}
+	y0 := make([]float64, n+1)
+	y0[0] = 1200
+	copy(y0[1:], mech.StoichiometricH2Air())
+	s := cvode.New(n+1, rhs, cvode.Options{RelTol: 1e-8, AbsTol: 1e-12, MaxOrder: maxOrder})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Init(0, y0)
+		if err := s.Integrate(1e-5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBDFOrder1(b *testing.B) { bdfOrderBench(b, 1) }
+func BenchmarkAblationBDFOrder2(b *testing.B) { bdfOrderBench(b, 2) }
+func BenchmarkAblationBDFOrder5(b *testing.B) { bdfOrderBench(b, 5) }
+
+// ---- Infrastructure micro-benches ----------------------------------------------
+
+// BenchmarkGhostExchange4Ranks times one collective ghost exchange on a
+// 4-rank cohort (the unit the scaling harness repeats).
+func BenchmarkGhostExchange4Ranks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mpi.Run(4, mpi.ZeroModel, func(comm *mpi.Comm) {
+			h := amr.NewHierarchy(amr.NewBox(0, 0, 63, 63), 2, 1, 4)
+			d := field.New("u", h, 10, 2, comm)
+			for k := 0; k < 3; k++ {
+				d.ExchangeGhosts(0)
+			}
+		})
+	}
+}
+
+// BenchmarkChemistrySource times one full H2-air source-term
+// evaluation (the flame's innermost kernel).
+func BenchmarkChemistrySource(b *testing.B) {
+	mech := chem.H2Air()
+	ws := chem.NewSourceWorkspace(mech)
+	Y := mech.StoichiometricH2Air()
+	Y[mech.SpeciesIndex("OH")] = 1e-3
+	chem.NormalizeY(Y)
+	dY := make([]float64, mech.NumSpecies())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink = mech.ConstPressureSource(1500, chem.PAtm, Y, dY, ws)
+	}
+}
+
+// BenchmarkAMRRegrid times a full flag-cluster-rebuild cycle.
+func BenchmarkAMRRegrid(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h := amr.NewHierarchy(amr.NewBox(0, 0, 127, 127), 2, 3, 4)
+		ff := amr.NewFlagField(h.LevelDomain(0))
+		for j := 40; j < 90; j++ {
+			ff.Set(j, j)
+			ff.Set(j+1, j)
+		}
+		h.Regrid([]*amr.FlagField{ff}, amr.DefaultRegridOptions)
+		if h.NumLevels() < 2 {
+			b.Fatal("no refinement")
+		}
+	}
+}
+
+// BenchmarkIgnition0DFull times the complete paper Sec. 4.1 run
+// (assembled code, full mechanism, 1 ms horizon; the paper reports
+// 1.5 s on a 1 GHz Pentium III).
+func BenchmarkIgnition0DFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		dr, err := core.RunIgnition0D(
+			core.Param{Instance: "driver", Key: "tEnd", Value: "1e-3"},
+			core.Param{Instance: "driver", Key: "nOut", Value: "10"},
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sink = dr.Temps[len(dr.Temps)-1]
+	}
+}
+
+var _ = components.NewRepository // keep the import for palette parity checks

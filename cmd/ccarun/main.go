@@ -1,0 +1,101 @@
+// Command ccarun is the Ccaffeine-style launcher: it executes a CCA
+// assembly script on P identically configured framework instances
+// (SCMD), the equivalent of "mpirun -np P ccaffeine --file script.rc".
+//
+//	ccarun -np 4 script.rc
+//	ccarun -list                  # show the component palette
+//	ccarun -arena script.rc      # print the assembly without running "go"
+//
+// Script grammar (one command per line, # comments):
+//
+//	repository get-global <ClassName>
+//	instantiate <ClassName> <instance>
+//	parameter <instance> <key> <value...>
+//	connect <user> <usesPort> <provider> <providesPort>
+//	disconnect <user> <usesPort>
+//	go <instance> <portName>
+//	quit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/components"
+	"ccahydro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 1, "number of SCMD framework instances (ranks)")
+	list := flag.Bool("list", false, "list the component palette and exit")
+	arena := flag.Bool("arena", false, "execute everything except 'go' commands and print the assembly")
+	network := flag.String("network", "cplant", "virtual network model: cplant, fastethernet, zero")
+	flag.Parse()
+
+	repo := components.NewRepository()
+	if *list {
+		fmt.Println("component palette:")
+		for _, c := range repo.Classes() {
+			fmt.Println(" ", c)
+		}
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccarun [-np P] script.rc")
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	script, err := cca.ParseScriptString(string(text))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *arena {
+		// Drop "go" commands, build serially, print the wiring.
+		var filtered cca.Script
+		for _, c := range script.Commands {
+			if c.Verb != "go" {
+				filtered.Commands = append(filtered.Commands, c)
+			}
+		}
+		f := cca.NewFramework(repo, nil)
+		if err := filtered.Execute(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(cca.Arena(f))
+		return
+	}
+
+	model := mpi.CPlantModel
+	switch *network {
+	case "fastethernet":
+		model = mpi.FastEthernetModel
+	case "zero":
+		model = mpi.ZeroModel
+	}
+
+	if *np == 1 {
+		f := cca.NewFramework(repo, nil)
+		if err := script.Execute(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	res := cca.RunSCMD(*np, model, repo, func(f *cca.Framework, _ *mpi.Comm) error {
+		return script.Execute(f)
+	})
+	if err := res.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("SCMD job complete: %d ranks, simulated run time %.3f s\n", *np, res.MaxVirtualTime())
+}

@@ -1,0 +1,78 @@
+// Instrumented runs the 0D ignition assembly with the TAU-style
+// performance monitor spliced into the integrator's RHS wire — the
+// paper's future-work plan ("By using TAU, we intend to characterize
+// the performance characteristics of individual components and their
+// assemblies"), executed. The RHSMonitor component provides and uses
+// the same port type, so it drops into the existing wiring without
+// touching either endpoint:
+//
+//	before:  cvode.rhs ────────────────► model.rhs
+//	after:   cvode.rhs ─► monitor.rhs; monitor.inner ─► model.rhs
+//
+//	go run ./examples/instrumented [-mech co-h2-air]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/components"
+	"ccahydro/internal/core"
+)
+
+func main() {
+	mech := flag.String("mech", "h2air", "mechanism: h2air, h2air-lite, co-h2-air")
+	tEnd := flag.Float64("tEnd", 5e-4, "integration horizon (s)")
+	flag.Parse()
+
+	repo := core.Repo()
+	f := cca.NewFramework(repo, nil)
+	must(f.SetParameter("chem", "mech", *mech))
+	must(f.SetParameter("driver", "tEnd", fmt.Sprint(*tEnd)))
+	must(f.SetParameter("driver", "nOut", "10"))
+	must(f.SetParameter("monitor", "label", "chemistry RHS"))
+
+	for _, inst := range [][2]string{
+		{"ThermoChemistry", "chem"}, {"DPDt", "dpdt"}, {"ProblemModeler", "model"},
+		{"Initializer", "init"}, {"CvodeComponent", "cvode"},
+		{"StatisticsComponent", "stats"}, {"IgnitionDriver", "driver"},
+		{"TauTimer", "tau"}, {"RHSMonitor", "monitor"},
+	} {
+		must(f.Instantiate(inst[0], inst[1]))
+	}
+	for _, w := range [][4]string{
+		{"dpdt", "chemistry", "chem", "chemistry"},
+		{"model", "chemistry", "chem", "chemistry"},
+		{"model", "dpdt", "dpdt", "dpdt"},
+		{"init", "chemistry", "chem", "chemistry"},
+		{"monitor", "inner", "model", "rhs"},
+		{"monitor", "timing", "tau", "timing"},
+		{"cvode", "rhs", "monitor", "rhs"},
+		{"driver", "ic", "init", "ic"},
+		{"driver", "integrator", "cvode", "integrator"},
+		{"driver", "chemistry", "chem", "chemistry"},
+		{"driver", "stats", "stats", "stats"},
+	} {
+		must(f.Connect(w[0], w[1], w[2], w[3]))
+	}
+
+	must(f.Go("driver", "go"))
+
+	drComp, _ := f.Lookup("driver")
+	dr := drComp.(*components.IgnitionDriver)
+	fmt.Printf("ignition with %q: T %0.f -> %.0f K over %.1e s\n\n",
+		*mech, dr.Temps[0], dr.Temps[len(dr.Temps)-1], *tEnd)
+
+	tauComp, _ := f.Lookup("tau")
+	fmt.Println("per-component timing (TAU-style):")
+	tauComp.(*components.TauTimer).WriteReport(os.Stdout)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

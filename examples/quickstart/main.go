@@ -1,0 +1,81 @@
+// Quickstart: the CCA component model in ~60 lines.
+//
+// Two components are defined — a provider exporting a tiny domain port
+// and a driver that uses it — registered in a repository, instantiated
+// inside a framework, wired port-to-port, and fired through the
+// standard GoPort. This is the provides-uses pattern every assembly in
+// this repository is built from.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccahydro/internal/cca"
+)
+
+// GreeterPort is a domain port: a data-less interface owned by the
+// "user community" (us).
+type GreeterPort interface {
+	Greet(name string) string
+}
+
+// greeter provides GreeterPort.
+type greeter struct{ prefix string }
+
+func (g *greeter) SetServices(svc cca.Services) error {
+	g.prefix = svc.Parameters().GetString("prefix", "Hello")
+	return svc.AddProvidesPort(g, "greetings", "demo.GreeterPort")
+}
+
+func (g *greeter) Greet(name string) string {
+	return fmt.Sprintf("%s, %s!", g.prefix, name)
+}
+
+// driver uses a GreeterPort and provides the standard GoPort so the
+// framework's "go" command can start it.
+type driver struct{ svc cca.Services }
+
+func (d *driver) SetServices(svc cca.Services) error {
+	d.svc = svc
+	if err := svc.RegisterUsesPort("greeter", "demo.GreeterPort"); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(goPort{d}, "go", cca.GoPortType)
+}
+
+type goPort struct{ d *driver }
+
+func (g goPort) Go() error {
+	p, err := g.d.svc.GetPort("greeter")
+	if err != nil {
+		return err
+	}
+	defer g.d.svc.ReleasePort("greeter")
+	fmt.Println(p.(GreeterPort).Greet("CCA world"))
+	return nil
+}
+
+func main() {
+	repo := cca.NewRepository()
+	repo.Register("Greeter", func() cca.Component { return &greeter{} })
+	repo.Register("Driver", func() cca.Component { return &driver{} })
+
+	f := cca.NewFramework(repo, nil)
+	must(f.SetParameter("hello", "prefix", "Greetings"))
+	must(f.Instantiate("Greeter", "hello"))
+	must(f.Instantiate("Driver", "main"))
+	must(f.Connect("main", "greeter", "hello", "greetings"))
+
+	fmt.Print(cca.Arena(f))
+	fmt.Println("---")
+	must(f.Go("main", "go"))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

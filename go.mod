@@ -1,0 +1,3 @@
+module ccahydro
+
+go 1.22

@@ -1,0 +1,257 @@
+package amr
+
+// Point clustering in the Berger–Rigoutsos style: given the set of
+// flagged cells on a level, produce a small set of rectangles covering
+// all flags such that each rectangle is "efficient" (flagged fraction
+// above a threshold). The SAMR regrid step feeds these rectangles to
+// patch creation.
+
+// FlagField marks cells of a box for refinement.
+type FlagField struct {
+	Box   Box
+	flags []bool
+}
+
+// NewFlagField creates an all-clear flag field over box.
+func NewFlagField(box Box) *FlagField {
+	return &FlagField{Box: box, flags: make([]bool, box.NumCells())}
+}
+
+func (f *FlagField) index(i, j int) int {
+	nx, _ := f.Box.Size()
+	return (j-f.Box.Lo[1])*nx + (i - f.Box.Lo[0])
+}
+
+// Set flags cell (i, j); out-of-box sets are ignored.
+func (f *FlagField) Set(i, j int) {
+	if f.Box.Contains(i, j) {
+		f.flags[f.index(i, j)] = true
+	}
+}
+
+// Get reports whether cell (i, j) is flagged; out-of-box reads are false.
+func (f *FlagField) Get(i, j int) bool {
+	if !f.Box.Contains(i, j) {
+		return false
+	}
+	return f.flags[f.index(i, j)]
+}
+
+// Count returns the number of flagged cells.
+func (f *FlagField) Count() int {
+	n := 0
+	for _, v := range f.flags {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// SetBox flags every cell in the intersection of b with the field.
+func (f *FlagField) SetBox(b Box) {
+	ov := f.Box.Intersect(b)
+	for j := ov.Lo[1]; j <= ov.Hi[1]; j++ {
+		for i := ov.Lo[0]; i <= ov.Hi[0]; i++ {
+			f.flags[f.index(i, j)] = true
+		}
+	}
+}
+
+// Buffer grows every flagged region by n cells (clipped to the box),
+// the usual safety margin so features cannot escape fine patches
+// between regrids.
+func (f *FlagField) Buffer(n int) {
+	if n <= 0 {
+		return
+	}
+	src := append([]bool(nil), f.flags...)
+	nx, _ := f.Box.Size()
+	for j := f.Box.Lo[1]; j <= f.Box.Hi[1]; j++ {
+		for i := f.Box.Lo[0]; i <= f.Box.Hi[0]; i++ {
+			if !src[(j-f.Box.Lo[1])*nx+(i-f.Box.Lo[0])] {
+				continue
+			}
+			for dj := -n; dj <= n; dj++ {
+				for di := -n; di <= n; di++ {
+					f.Set(i+di, j+dj)
+				}
+			}
+		}
+	}
+}
+
+// boundingBoxOfFlags returns the tight box around flagged cells within
+// region (empty box if none).
+func (f *FlagField) boundingBoxOfFlags(region Box) Box {
+	r := Box{Lo: [2]int{1, 1}, Hi: [2]int{0, 0}} // empty
+	first := true
+	ov := f.Box.Intersect(region)
+	for j := ov.Lo[1]; j <= ov.Hi[1]; j++ {
+		for i := ov.Lo[0]; i <= ov.Hi[0]; i++ {
+			if !f.flags[f.index(i, j)] {
+				continue
+			}
+			if first {
+				r = NewBox(i, j, i, j)
+				first = false
+			} else {
+				r = r.BoundingBox(NewBox(i, j, i, j))
+			}
+		}
+	}
+	return r
+}
+
+func (f *FlagField) countIn(region Box) int {
+	n := 0
+	ov := f.Box.Intersect(region)
+	for j := ov.Lo[1]; j <= ov.Hi[1]; j++ {
+		for i := ov.Lo[0]; i <= ov.Hi[0]; i++ {
+			if f.flags[f.index(i, j)] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ClusterOptions controls the clustering pass.
+type ClusterOptions struct {
+	// Efficiency is the minimum flagged fraction a produced box must
+	// reach before splitting stops (Berger–Rigoutsos uses ~0.7–0.9).
+	Efficiency float64
+	// MaxBoxCells caps box size; oversized boxes are split regardless
+	// of efficiency so patches stay distributable.
+	MaxBoxCells int
+	// MinWidth prevents slivers: boxes are not split below this width.
+	MinWidth int
+}
+
+// DefaultClusterOptions matches common SAMR practice.
+var DefaultClusterOptions = ClusterOptions{Efficiency: 0.7, MaxBoxCells: 4096, MinWidth: 4}
+
+// Cluster covers all flagged cells with rectangles per the options. The
+// algorithm is the signature-based recursive bisection of
+// Berger–Rigoutsos: shrink to the bounding box, accept if efficient and
+// small enough, otherwise cut at a signature hole or inflection (or
+// midpoint) of the longer axis and recurse.
+func Cluster(f *FlagField, opt ClusterOptions) []Box {
+	if opt.Efficiency <= 0 || opt.Efficiency > 1 {
+		opt.Efficiency = DefaultClusterOptions.Efficiency
+	}
+	if opt.MaxBoxCells <= 0 {
+		opt.MaxBoxCells = DefaultClusterOptions.MaxBoxCells
+	}
+	if opt.MinWidth <= 0 {
+		opt.MinWidth = 1
+	}
+	var out []Box
+	var recurse func(region Box, depth int)
+	recurse = func(region Box, depth int) {
+		bb := f.boundingBoxOfFlags(region)
+		if bb.Empty() {
+			return
+		}
+		nFlag := f.countIn(bb)
+		eff := float64(nFlag) / float64(bb.NumCells())
+		nx, ny := bb.Size()
+		smallEnough := bb.NumCells() <= opt.MaxBoxCells
+		tooNarrow := nx <= opt.MinWidth && ny <= opt.MinWidth
+		if (eff >= opt.Efficiency && smallEnough) || tooNarrow || depth > 64 {
+			out = append(out, bb)
+			return
+		}
+		// Compute signatures along the longer axis and find the best cut.
+		if nx >= ny {
+			cut := chooseCutX(f, bb, opt.MinWidth)
+			l, r := bb.SplitX(cut)
+			recurse(l, depth+1)
+			recurse(r, depth+1)
+		} else {
+			cut := chooseCutY(f, bb, opt.MinWidth)
+			b1, b2 := bb.SplitY(cut)
+			recurse(b1, depth+1)
+			recurse(b2, depth+1)
+		}
+	}
+	recurse(f.Box, 0)
+	return out
+}
+
+// chooseCutX picks a column index to split bb: first zero of the column
+// signature, then the strongest Laplacian sign change, else midpoint.
+// The cut respects minWidth on both sides.
+func chooseCutX(f *FlagField, bb Box, minWidth int) int {
+	nx, _ := bb.Size()
+	sig := make([]int, nx)
+	for j := bb.Lo[1]; j <= bb.Hi[1]; j++ {
+		for i := bb.Lo[0]; i <= bb.Hi[0]; i++ {
+			if f.Get(i, j) {
+				sig[i-bb.Lo[0]]++
+			}
+		}
+	}
+	return chooseCut(sig, bb.Lo[0], minWidth)
+}
+
+func chooseCutY(f *FlagField, bb Box, minWidth int) int {
+	_, ny := bb.Size()
+	sig := make([]int, ny)
+	for j := bb.Lo[1]; j <= bb.Hi[1]; j++ {
+		for i := bb.Lo[0]; i <= bb.Hi[0]; i++ {
+			if f.Get(i, j) {
+				sig[j-bb.Lo[1]]++
+			}
+		}
+	}
+	return chooseCut(sig, bb.Lo[1], minWidth)
+}
+
+// chooseCut returns an absolute split coordinate given a signature
+// array starting at lo. The returned cut c splits [lo, lo+len-1] into
+// [lo, c-1] and [c, ...]; both sides keep at least minWidth entries.
+func chooseCut(sig []int, lo, minWidth int) int {
+	n := len(sig)
+	lowest := minWidth
+	highest := n - minWidth
+	if lowest >= highest {
+		return lo + n/2
+	}
+	// Zero (hole) in the signature: perfect split point.
+	for c := lowest; c < highest; c++ {
+		if sig[c] == 0 {
+			return lo + c
+		}
+	}
+	// Laplacian inflection: largest |Δ²| sign change.
+	bestC, bestMag := -1, -1
+	for c := lowest; c < highest-1; c++ {
+		if c-1 < 0 || c+1 >= n {
+			continue
+		}
+		d1 := sig[c-1] - 2*sig[c] + sig[c+1]
+		var d2 int
+		if c+2 < n {
+			d2 = sig[c] - 2*sig[c+1] + sig[c+2]
+		}
+		if d1*d2 < 0 {
+			mag := abs(d1 - d2)
+			if mag > bestMag {
+				bestMag = mag
+				bestC = c + 1
+			}
+		}
+	}
+	if bestC >= 0 {
+		return lo + bestC
+	}
+	return lo + n/2
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,169 @@
+package amr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFlagFieldSetGet(t *testing.T) {
+	f := NewFlagField(NewBox(0, 0, 9, 9))
+	f.Set(3, 4)
+	f.Set(100, 100) // out of box: ignored
+	if !f.Get(3, 4) || f.Get(4, 3) || f.Get(100, 100) {
+		t.Error("flag get/set wrong")
+	}
+	if f.Count() != 1 {
+		t.Errorf("count = %d", f.Count())
+	}
+}
+
+func TestFlagFieldSetBoxAndBuffer(t *testing.T) {
+	f := NewFlagField(NewBox(0, 0, 19, 19))
+	f.SetBox(NewBox(5, 5, 6, 6))
+	if f.Count() != 4 {
+		t.Errorf("count after SetBox = %d", f.Count())
+	}
+	f.Buffer(1)
+	if f.Count() != 16 { // 4x4 block
+		t.Errorf("count after Buffer = %d", f.Count())
+	}
+	// Buffer clips at domain edges.
+	g := NewFlagField(NewBox(0, 0, 4, 4))
+	g.Set(0, 0)
+	g.Buffer(2)
+	if g.Count() != 9 { // 3x3 corner block
+		t.Errorf("corner buffer count = %d", g.Count())
+	}
+}
+
+func clusterCovers(f *FlagField, boxes []Box) bool {
+	for j := f.Box.Lo[1]; j <= f.Box.Hi[1]; j++ {
+		for i := f.Box.Lo[0]; i <= f.Box.Hi[0]; i++ {
+			if !f.Get(i, j) {
+				continue
+			}
+			covered := false
+			for _, b := range boxes {
+				if b.Contains(i, j) {
+					covered = true
+					break
+				}
+			}
+			if !covered {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestClusterSingleBlob(t *testing.T) {
+	f := NewFlagField(NewBox(0, 0, 63, 63))
+	f.SetBox(NewBox(10, 10, 20, 20))
+	boxes := Cluster(f, DefaultClusterOptions)
+	if len(boxes) != 1 || boxes[0] != NewBox(10, 10, 20, 20) {
+		t.Errorf("boxes = %v", boxes)
+	}
+}
+
+func TestClusterTwoSeparatedBlobs(t *testing.T) {
+	f := NewFlagField(NewBox(0, 0, 99, 99))
+	f.SetBox(NewBox(5, 5, 14, 14))
+	f.SetBox(NewBox(60, 70, 69, 79))
+	boxes := Cluster(f, DefaultClusterOptions)
+	if len(boxes) != 2 {
+		t.Fatalf("expected 2 boxes, got %v", boxes)
+	}
+	if !clusterCovers(f, boxes) {
+		t.Error("cluster does not cover all flags")
+	}
+	// Each produced box should be one of the blobs exactly (signature
+	// hole split then tight bounding).
+	for _, b := range boxes {
+		if b != NewBox(5, 5, 14, 14) && b != NewBox(60, 70, 69, 79) {
+			t.Errorf("unexpected box %v", b)
+		}
+	}
+}
+
+func TestClusterEfficiency(t *testing.T) {
+	// An L-shaped flag set cannot be covered efficiently by one box.
+	f := NewFlagField(NewBox(0, 0, 63, 63))
+	f.SetBox(NewBox(0, 0, 31, 7))
+	f.SetBox(NewBox(0, 0, 7, 31))
+	boxes := Cluster(f, ClusterOptions{Efficiency: 0.85, MaxBoxCells: 10000, MinWidth: 2})
+	if !clusterCovers(f, boxes) {
+		t.Fatal("cluster does not cover all flags")
+	}
+	flagged := f.Count()
+	total := 0
+	for _, b := range boxes {
+		total += b.NumCells()
+	}
+	if eff := float64(flagged) / float64(total); eff < 0.80 {
+		t.Errorf("aggregate efficiency = %.2f with boxes %v", eff, boxes)
+	}
+}
+
+func TestClusterEmpty(t *testing.T) {
+	f := NewFlagField(NewBox(0, 0, 31, 31))
+	if boxes := Cluster(f, DefaultClusterOptions); boxes != nil {
+		t.Errorf("cluster of empty field = %v", boxes)
+	}
+}
+
+func TestClusterMaxBoxCells(t *testing.T) {
+	f := NewFlagField(NewBox(0, 0, 127, 127))
+	f.SetBox(f.Box) // everything flagged
+	boxes := Cluster(f, ClusterOptions{Efficiency: 0.7, MaxBoxCells: 1024, MinWidth: 2})
+	for _, b := range boxes {
+		if b.NumCells() > 1024*2 { // allow slack of one split level
+			t.Errorf("box %v too large (%d cells)", b, b.NumCells())
+		}
+	}
+	if !clusterCovers(f, boxes) {
+		t.Error("full-domain cluster dropped cells")
+	}
+}
+
+// Property: clustering always covers every flagged cell, and every
+// produced box contains at least one flag.
+func TestClusterCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ff := NewFlagField(NewBox(0, 0, 47, 47))
+		nBlobs := 1 + rng.Intn(4)
+		for b := 0; b < nBlobs; b++ {
+			x, y := rng.Intn(40), rng.Intn(40)
+			ff.SetBox(NewBox(x, y, x+rng.Intn(8), y+rng.Intn(8)))
+		}
+		boxes := Cluster(ff, DefaultClusterOptions)
+		if !clusterCovers(ff, boxes) {
+			return false
+		}
+		for _, b := range boxes {
+			if ff.countIn(b) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChooseCutPrefersHole(t *testing.T) {
+	// Signature with a hole at index 5.
+	sig := []int{3, 3, 3, 3, 3, 0, 3, 3, 3, 3}
+	if got := chooseCut(sig, 0, 2); got != 5 {
+		t.Errorf("cut = %d, want 5", got)
+	}
+	// No hole: falls back to inflection or midpoint within bounds.
+	sig2 := []int{1, 2, 8, 9, 9, 8, 2, 1}
+	cut := chooseCut(sig2, 0, 2)
+	if cut < 2 || cut > len(sig2)-2 {
+		t.Errorf("cut %d violates min width", cut)
+	}
+}

@@ -1,0 +1,101 @@
+package cca
+
+// BuilderService is the standard CCA composition service: a port
+// through which a component (or the GUI's application framer) can
+// itself instantiate components, wire ports, and inspect the assembly.
+// Ccaffeine exposes exactly this to its framer; here the framework
+// provides it to any component that registers a uses port of type
+// BuilderServiceType and connects it to the framework's built-in
+// provider (instantiated implicitly under the reserved instance name
+// ".framework").
+
+// BuilderServiceType is the canonical type string for the builder port.
+const BuilderServiceType = "gov.cca.ports.BuilderService"
+
+// BuilderService exposes framework composition operations.
+type BuilderService interface {
+	// Instantiate creates a named component from a repository class.
+	Instantiate(className, instanceName string) error
+	// Connect wires user.usesPort to provider.providesPort.
+	Connect(user, usesPort, provider, providesPort string) error
+	// Disconnect severs a wire.
+	Disconnect(user, usesPort string) error
+	// SetParameter stages or applies an instance parameter.
+	SetParameter(instanceName, key, value string) error
+	// Go fires a GoPort.
+	Go(instanceName, portName string) error
+	// ComponentClasses lists the repository palette.
+	ComponentClasses() []string
+	// Instances lists live instance names.
+	Instances() []string
+	// Connections lists live wires.
+	Connections() []Connection
+}
+
+// FrameworkInstanceName is the reserved name under which the framework
+// publishes its own service ports.
+const FrameworkInstanceName = ".framework"
+
+// builderView adapts a Framework to BuilderService.
+type builderView struct{ f *Framework }
+
+func (b builderView) Instantiate(className, instanceName string) error {
+	return b.f.Instantiate(className, instanceName)
+}
+
+func (b builderView) Connect(user, usesPort, provider, providesPort string) error {
+	return b.f.Connect(user, usesPort, provider, providesPort)
+}
+
+func (b builderView) Disconnect(user, usesPort string) error {
+	return b.f.Disconnect(user, usesPort)
+}
+
+func (b builderView) SetParameter(instanceName, key, value string) error {
+	return b.f.SetParameter(instanceName, key, value)
+}
+
+func (b builderView) Go(instanceName, portName string) error {
+	return b.f.Go(instanceName, portName)
+}
+
+func (b builderView) ComponentClasses() []string { return b.f.repo.Classes() }
+func (b builderView) Instances() []string        { return b.f.Instances() }
+func (b builderView) Connections() []Connection  { return b.f.Connections() }
+
+// frameworkComponent is the implicit component that provides the
+// framework's service ports.
+type frameworkComponent struct{ f *Framework }
+
+func (fc *frameworkComponent) SetServices(svc Services) error {
+	return svc.AddProvidesPort(builderView{fc.f}, "builder", BuilderServiceType)
+}
+
+// EnableBuilderService instantiates the framework's service component
+// under the reserved name, making the builder port connectable:
+//
+//	f.EnableBuilderService()
+//	f.Connect("myComposer", "builder", cca.FrameworkInstanceName, "builder")
+//
+// Calling it twice is an error (the instance name is taken), matching
+// Instantiate semantics.
+func (f *Framework) EnableBuilderService() error {
+	if _, dup := f.instances[FrameworkInstanceName]; dup {
+		return nil // already enabled
+	}
+	in := &instance{
+		name:      FrameworkInstanceName,
+		className: "<framework>",
+		comp:      &frameworkComponent{f},
+		provides:  make(map[string]*providesEntry),
+		uses:      make(map[string]*usesEntry),
+		params:    NewTypeMap(),
+		fw:        f,
+	}
+	if err := in.comp.SetServices(in); err != nil {
+		return err
+	}
+	f.instances[FrameworkInstanceName] = in
+	f.order = append(f.order, FrameworkInstanceName)
+	return nil
+}

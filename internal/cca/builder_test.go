@@ -1,0 +1,104 @@
+package cca
+
+import (
+	"testing"
+)
+
+// composer is a component that composes the rest of the application
+// through the BuilderService — the application-framer pattern.
+type composer struct {
+	svc    Services
+	result float64
+}
+
+func (c *composer) SetServices(svc Services) error {
+	c.svc = svc
+	if err := svc.RegisterUsesPort("builder", BuilderServiceType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(goFunc(c.compose), "go", GoPortType)
+}
+
+func (c *composer) compose() error {
+	p, err := c.svc.GetPort("builder")
+	if err != nil {
+		return err
+	}
+	defer c.svc.ReleasePort("builder")
+	b := p.(BuilderService)
+	// Build the adder demo programmatically.
+	if err := b.SetParameter("c", "addend", "10"); err != nil {
+		return err
+	}
+	for _, step := range [][2]string{{"Adder", "a"}, {"Client", "c"}} {
+		if err := b.Instantiate(step[0], step[1]); err != nil {
+			return err
+		}
+	}
+	if err := b.Connect("c", "calc", "a", "sum"); err != nil {
+		return err
+	}
+	if err := b.Go("c", "go"); err != nil {
+		return err
+	}
+	return nil
+}
+
+func TestBuilderServiceComposesApplication(t *testing.T) {
+	repo := testRepo()
+	repo.Register("Composer", func() Component { return &composer{} })
+	f := NewFramework(repo, nil)
+	if err := f.EnableBuilderService(); err != nil {
+		t.Fatal(err)
+	}
+	mustOK(t, f.Instantiate("Composer", "framer"))
+	mustOK(t, f.Connect("framer", "builder", FrameworkInstanceName, "builder"))
+	mustOK(t, f.Go("framer", "go"))
+
+	// The composed components exist and ran.
+	comp, err := f.Lookup("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := comp.(*client).result; got != 12 {
+		t.Errorf("composed result = %v, want 12", got)
+	}
+}
+
+func TestBuilderServiceIntrospection(t *testing.T) {
+	f := NewFramework(testRepo(), nil)
+	mustOK(t, f.EnableBuilderService())
+	b := builderView{f}
+	classes := b.ComponentClasses()
+	if len(classes) != 2 {
+		t.Errorf("classes = %v", classes)
+	}
+	mustOK(t, b.Instantiate("Adder", "a"))
+	mustOK(t, b.Instantiate("Client", "c"))
+	mustOK(t, b.Connect("c", "calc", "a", "sum"))
+	if got := b.Instances(); len(got) != 3 { // .framework + a + c
+		t.Errorf("instances = %v", got)
+	}
+	if got := b.Connections(); len(got) != 1 {
+		t.Errorf("connections = %v", got)
+	}
+	mustOK(t, b.Disconnect("c", "calc"))
+	if got := b.Connections(); len(got) != 0 {
+		t.Errorf("connections after disconnect = %v", got)
+	}
+}
+
+func TestEnableBuilderServiceIdempotent(t *testing.T) {
+	f := NewFramework(testRepo(), nil)
+	mustOK(t, f.EnableBuilderService())
+	mustOK(t, f.EnableBuilderService()) // second call is a no-op
+	n := 0
+	for _, name := range f.Instances() {
+		if name == FrameworkInstanceName {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("framework instance appears %d times", n)
+	}
+}

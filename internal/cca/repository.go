@@ -1,0 +1,68 @@
+package cca
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Factory constructs a fresh component instance. Each Instantiate call
+// invokes the factory once, so components never share state unless they
+// arrange to.
+type Factory func() Component
+
+// Repository maps component class names to factories. It substitutes
+// for Ccaffeine's dlopen-based palette of shared-object components:
+// Go cannot portably load Go code at run time, so component packages
+// register their classes here (usually once, at program start) and
+// assembly scripts resolve class names against the repository.
+type Repository struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+}
+
+// NewRepository returns an empty repository.
+func NewRepository() *Repository {
+	return &Repository{factories: make(map[string]Factory)}
+}
+
+// Register adds a class. Registering a duplicate name is a programming
+// error and panics, mirroring duplicate shared-object symbols.
+func (r *Repository) Register(className string, f Factory) {
+	if className == "" || f == nil {
+		panic("cca: Register requires a class name and a factory")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.factories[className]; dup {
+		panic(fmt.Sprintf("cca: component class %q registered twice", className))
+	}
+	r.factories[className] = f
+}
+
+// lookup fetches a factory.
+func (r *Repository) lookup(className string) (Factory, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	f, ok := r.factories[className]
+	return f, ok
+}
+
+// Has reports whether the class is registered.
+func (r *Repository) Has(className string) bool {
+	_, ok := r.lookup(className)
+	return ok
+}
+
+// Classes lists registered class names in sorted order — the palette
+// the paper's GUI shows as "an available list" of components.
+func (r *Repository) Classes() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.factories))
+	for k := range r.factories {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,65 @@
+package cca
+
+import (
+	"fmt"
+	"sync"
+
+	"ccahydro/internal/mpi"
+)
+
+// SCMD (Single Component Multiple Data) execution: P identically
+// configured frameworks, one per rank, each built from the same script
+// or assembly function. The P instances of a given component form a
+// cohort, and all message passing happens inside cohorts through the
+// communicator the framework lends out — the framework itself provides
+// no messaging.
+
+// SCMDResult captures one SCMD job's outcome.
+type SCMDResult struct {
+	// World exposes the virtual clocks of the finished job.
+	World *mpi.World
+	// Errors holds the per-rank error (nil on success), indexed by rank.
+	Errors []error
+}
+
+// Err returns the first non-nil rank error, annotated with its rank.
+func (r *SCMDResult) Err() error {
+	for rank, e := range r.Errors {
+		if e != nil {
+			return fmt.Errorf("cca: rank %d: %w", rank, e)
+		}
+	}
+	return nil
+}
+
+// MaxVirtualTime is the simulated job run time (max over ranks).
+func (r *SCMDResult) MaxVirtualTime() float64 { return r.World.MaxVirtualTime() }
+
+// RunSCMD instantiates P frameworks, applies assemble to each with its
+// rank-scoped communicator, and waits for all ranks. assemble typically
+// parses/executes a script or calls Instantiate/Connect/Go directly.
+func RunSCMD(size int, model mpi.NetworkModel, repo *Repository, assemble func(f *Framework, comm *mpi.Comm) error) *SCMDResult {
+	res := &SCMDResult{Errors: make([]error, size)}
+	var mu sync.Mutex
+	res.World = mpi.Run(size, model, func(comm *mpi.Comm) {
+		f := NewFramework(repo, comm)
+		err := assemble(f, comm)
+		mu.Lock()
+		res.Errors[comm.Rank()] = err
+		mu.Unlock()
+	})
+	return res
+}
+
+// RunScriptSCMD parses the script text once and executes it on P
+// frameworks — the paper's "P instances of the framework, run with the
+// same script" launch mode (mpirun equivalent).
+func RunScriptSCMD(size int, model mpi.NetworkModel, repo *Repository, scriptText string) (*SCMDResult, error) {
+	script, err := ParseScriptString(scriptText)
+	if err != nil {
+		return nil, err
+	}
+	return RunSCMD(size, model, repo, func(f *Framework, _ *mpi.Comm) error {
+		return script.Execute(f)
+	}), nil
+}

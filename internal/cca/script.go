@@ -1,0 +1,146 @@
+package cca
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Script is a parsed Ccaffeine-style assembly file. The dialect covers
+// the commands the paper's runs use: fetching classes from the
+// repository, instantiating them, setting parameters, connecting ports,
+// and firing a GoPort. A script is data; Execute applies it to a
+// Framework, and the SCMD multiplexer applies the same script to all P
+// framework instances, which is exactly how the GUI's "multiplexer
+// reproduces the action P-fold".
+type Script struct {
+	Commands []Command
+}
+
+// Command is one parsed script line.
+type Command struct {
+	// Verb is one of "repository", "instantiate", "parameter",
+	// "connect", "disconnect", "go", "quit".
+	Verb string
+	Args []string
+	Line int
+}
+
+// ParseScript reads an assembly script. Grammar, one command per line:
+//
+//	# comment, blank lines ignored
+//	repository get-global <ClassName>
+//	instantiate <ClassName> <instanceName>
+//	parameter <instanceName> <key> <value...>
+//	connect <userInstance> <usesPort> <providerInstance> <providesPort>
+//	disconnect <userInstance> <usesPort>
+//	destroy <instanceName>
+//	go <instanceName> <portName>
+//	quit
+func ParseScript(r io.Reader) (*Script, error) {
+	sc := bufio.NewScanner(r)
+	s := &Script{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "!") {
+			continue
+		}
+		fields := strings.Fields(line)
+		verb := fields[0]
+		args := fields[1:]
+		wantArgs := map[string][2]int{ // verb -> {min,max} arg count
+			"repository":  {2, 2},
+			"instantiate": {2, 2},
+			"parameter":   {3, -1},
+			"connect":     {4, 4},
+			"disconnect":  {2, 2},
+			"destroy":     {1, 1},
+			"go":          {2, 2},
+			"quit":        {0, 0},
+		}
+		spec, ok := wantArgs[verb]
+		if !ok {
+			return nil, fmt.Errorf("cca: script line %d: unknown command %q", lineNo, verb)
+		}
+		if len(args) < spec[0] || (spec[1] >= 0 && len(args) > spec[1]) {
+			return nil, fmt.Errorf("cca: script line %d: %q takes %d..%d args, got %d",
+				lineNo, verb, spec[0], spec[1], len(args))
+		}
+		if verb == "repository" && args[0] != "get-global" && args[0] != "get" {
+			return nil, fmt.Errorf("cca: script line %d: repository subcommand %q not supported", lineNo, args[0])
+		}
+		s.Commands = append(s.Commands, Command{Verb: verb, Args: args, Line: lineNo})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cca: reading script: %w", err)
+	}
+	return s, nil
+}
+
+// ParseScriptString parses a script held in a string.
+func ParseScriptString(text string) (*Script, error) {
+	return ParseScript(strings.NewReader(text))
+}
+
+// Execute applies the script to a framework. "repository get" commands
+// verify the class exists (the palette check); "quit" stops execution.
+func (s *Script) Execute(f *Framework) error {
+	for _, cmd := range s.Commands {
+		var err error
+		switch cmd.Verb {
+		case "repository":
+			if !f.repo.Has(cmd.Args[1]) {
+				err = fmt.Errorf("%w: %q", ErrUnknownClass, cmd.Args[1])
+			}
+		case "instantiate":
+			err = f.Instantiate(cmd.Args[0], cmd.Args[1])
+		case "parameter":
+			err = f.SetParameter(cmd.Args[0], cmd.Args[1], strings.Join(cmd.Args[2:], " "))
+		case "connect":
+			err = f.Connect(cmd.Args[0], cmd.Args[1], cmd.Args[2], cmd.Args[3])
+		case "disconnect":
+			err = f.Disconnect(cmd.Args[0], cmd.Args[1])
+		case "destroy":
+			err = f.Destroy(cmd.Args[0])
+		case "go":
+			err = f.Go(cmd.Args[0], cmd.Args[1])
+		case "quit":
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("cca: script line %d (%s): %w", cmd.Line, cmd.Verb, err)
+		}
+	}
+	return nil
+}
+
+// Arena renders the framework's current assembly as text: one box per
+// component with provides ports on the left and uses ports on the
+// right, followed by the wire list — a terminal rendering of the GUI
+// arena in the paper's Fig 1.
+func Arena(f *Framework) string {
+	var b strings.Builder
+	for _, name := range f.Instances() {
+		class, _ := f.ClassOf(name)
+		fmt.Fprintf(&b, "component %s (class %s)\n", name, class)
+		prov, _ := f.ProvidedPorts(name)
+		for _, p := range prov {
+			fmt.Fprintf(&b, "  provides %-24s : %s\n", p[0], p[1])
+		}
+		uses, _ := f.UsesPorts(name)
+		for _, u := range uses {
+			fmt.Fprintf(&b, "  uses     %-24s : %s\n", u[0], u[1])
+		}
+	}
+	conns := f.Connections()
+	if len(conns) > 0 {
+		fmt.Fprintf(&b, "wires:\n")
+		for _, c := range conns {
+			fmt.Fprintf(&b, "  %s.%s -> %s.%s [%s]\n", c.User, c.UsesPort, c.Provider, c.ProvidesPort, c.PortType)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,454 @@
+package chem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, rel float64) bool {
+	return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))+1e-300
+}
+
+// ---- thermo -------------------------------------------------------------
+
+func TestCpKnownValues(t *testing.T) {
+	// N2 at 298.15 K: cp ≈ 29.1 J/(mol K).
+	if cp := speciesN2.CpMolar(298.15); !almost(cp, 29.1, 0.02) {
+		t.Errorf("N2 cp(298) = %v", cp)
+	}
+	// H2O vapor at 298.15 K: cp ≈ 33.6 J/(mol K).
+	if cp := speciesH2O.CpMolar(298.15); !almost(cp, 33.6, 0.02) {
+		t.Errorf("H2O cp(298) = %v", cp)
+	}
+	// H2 at 1500 K: cp ≈ 32.3 J/(mol K).
+	if cp := speciesH2.CpMolar(1500); !almost(cp, 32.3, 0.03) {
+		t.Errorf("H2 cp(1500) = %v", cp)
+	}
+}
+
+func TestFormationEnthalpies(t *testing.T) {
+	T0 := 298.15
+	// Heats of formation at 298 K, J/mol.
+	cases := []struct {
+		sp   *Species
+		want float64
+	}{
+		{&speciesH, 218000},
+		{&speciesO, 249200},
+		{&speciesOH, 37300}, // GRI uses ~37 kJ/mol for OH
+		{&speciesH2O, -241800},
+		{&speciesH2O2, -135900},
+		{&speciesH2, 0},
+		{&speciesO2, 0},
+		{&speciesN2, 0},
+	}
+	for _, c := range cases {
+		h := c.sp.HMolar(T0)
+		if math.Abs(h-c.want) > math.Max(3500, 0.03*math.Abs(c.want)) {
+			t.Errorf("%s: Hf(298) = %.0f, want ~%.0f", c.sp.Name, h, c.want)
+		}
+	}
+}
+
+func TestNASAContinuityAtTmid(t *testing.T) {
+	for _, sp := range H2Air().Species {
+		eps := 1e-6
+		cpLo := sp.CpR(sp.Tmid - eps)
+		cpHi := sp.CpR(sp.Tmid + eps)
+		if !almost(cpLo, cpHi, 1e-3) {
+			t.Errorf("%s: cp discontinuous at Tmid: %v vs %v", sp.Name, cpLo, cpHi)
+		}
+		hLo, hHi := sp.HRT(sp.Tmid-eps), sp.HRT(sp.Tmid+eps)
+		if !almost(hLo, hHi, 1e-3) {
+			t.Errorf("%s: h discontinuous at Tmid: %v vs %v", sp.Name, hLo, hHi)
+		}
+		sLo, sHi := sp.SR(sp.Tmid-eps), sp.SR(sp.Tmid+eps)
+		if !almost(sLo, sHi, 1e-3) {
+			t.Errorf("%s: s discontinuous at Tmid: %v vs %v", sp.Name, sLo, sHi)
+		}
+	}
+}
+
+func TestThermoIdentity(t *testing.T) {
+	// dh/dT = cp, checked by finite difference.
+	for _, sp := range []*Species{&speciesH2, &speciesO2, &speciesH2O, &speciesOH} {
+		for _, T := range []float64{400, 800, 1200, 2000} {
+			dT := 1e-3
+			dh := (sp.HMolar(T+dT) - sp.HMolar(T-dT)) / (2 * dT)
+			if !almost(dh, sp.CpMolar(T), 1e-5) {
+				t.Errorf("%s at %v K: dh/dT = %v, cp = %v", sp.Name, T, dh, sp.CpMolar(T))
+			}
+		}
+	}
+}
+
+// ---- mechanism ----------------------------------------------------------
+
+func TestMechanismShapes(t *testing.T) {
+	full := H2Air()
+	if full.NumSpecies() != 9 || full.NumReactions() != 19 {
+		t.Errorf("full mech: %d species, %d reactions", full.NumSpecies(), full.NumReactions())
+	}
+	lite := H2AirLite()
+	if lite.NumSpecies() != 8 || lite.NumReactions() != 5 {
+		t.Errorf("lite mech: %d species, %d reactions", lite.NumSpecies(), lite.NumReactions())
+	}
+	if full.SpeciesIndex("N2") != 8 {
+		t.Errorf("N2 index = %d", full.SpeciesIndex("N2"))
+	}
+	names := full.SpeciesNames()
+	if names[0] != "H2" || names[8] != "N2" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if m, err := ByName("h2air"); err != nil || m.NumReactions() != 19 {
+		t.Errorf("h2air: %v %v", m, err)
+	}
+	if m, err := ByName("h2air-lite"); err != nil || m.NumReactions() != 5 {
+		t.Errorf("lite: %v %v", m, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown mechanism")
+	}
+}
+
+func TestSpeciesIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	H2Air().SpeciesIndex("XYZ")
+}
+
+// ---- rates --------------------------------------------------------------
+
+func randomState(m *Mechanism, rng *rand.Rand) (float64, []float64) {
+	T := 800 + 1700*rng.Float64()
+	conc := make([]float64, m.NumSpecies())
+	for i := range conc {
+		conc[i] = rng.Float64() * 10 // mol/m^3, flame-like magnitudes
+	}
+	return T, conc
+}
+
+// Mass conservation: Σ wdot_i W_i = 0 for any state.
+func TestProductionRatesConserveMass(t *testing.T) {
+	for _, m := range []*Mechanism{H2Air(), H2AirLite()} {
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			T, conc := randomState(m, rng)
+			wdot := make([]float64, m.NumSpecies())
+			m.ProductionRates(T, conc, wdot)
+			var sum, scale float64
+			for i := range wdot {
+				term := wdot[i] * m.Species[i].W
+				sum += term
+				scale += math.Abs(term)
+			}
+			return math.Abs(sum) <= 1e-10*(scale+1)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+// Element conservation: H and O atom production rates vanish.
+func TestProductionRatesConserveElements(t *testing.T) {
+	m := H2Air()
+	nH := map[string]float64{"H2": 2, "H2O": 2, "OH": 1, "H": 1, "HO2": 1, "H2O2": 2}
+	nO := map[string]float64{"O2": 2, "H2O": 1, "OH": 1, "O": 1, "HO2": 2, "H2O2": 2}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		T, conc := randomState(m, rng)
+		wdot := make([]float64, m.NumSpecies())
+		m.ProductionRates(T, conc, wdot)
+		var sh, so, scale float64
+		for i, sp := range m.Species {
+			sh += wdot[i] * nH[sp.Name]
+			so += wdot[i] * nO[sp.Name]
+			scale += math.Abs(wdot[i])
+		}
+		return math.Abs(sh) <= 1e-9*(scale+1) && math.Abs(so) <= 1e-9*(scale+1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Detailed balance: at equilibrium concentrations, each reversible
+// reaction's net rate is zero.
+func TestDetailedBalanceAtEquilibrium(t *testing.T) {
+	m := H2Air()
+	T := 1500.0
+	// Construct concentrations satisfying Kc for H2+OH=H2O+H:
+	// choose arbitrary [H2], [OH], [H2O]; solve [H].
+	r := &m.Reactions[2] // H2+OH=H2O+H
+	kc := m.equilibriumKc(r, T)
+	cH2, cOH, cH2O := 2.0, 0.3, 5.0
+	cH := kc * cH2 * cOH / cH2O
+	conc := make([]float64, m.NumSpecies())
+	conc[m.SpeciesIndex("H2")] = cH2
+	conc[m.SpeciesIndex("OH")] = cOH
+	conc[m.SpeciesIndex("H2O")] = cH2O
+	conc[m.SpeciesIndex("H")] = cH
+	q := m.RateOfProgress(r, T, conc)
+	// Compare against the gross forward rate.
+	fwdOnly := *r
+	fwdOnly.Reversible = false
+	qf := m.RateOfProgress(&fwdOnly, T, conc)
+	if math.Abs(q) > 1e-9*math.Abs(qf) {
+		t.Errorf("net rate at equilibrium = %v (fwd %v)", q, qf)
+	}
+}
+
+func TestThirdBodyEnhancement(t *testing.T) {
+	m := H2Air()
+	r := &m.Reactions[4] // H2+M=H+H+M, H2O efficiency 12
+	T := 2500.0
+	conc := make([]float64, m.NumSpecies())
+	conc[m.SpeciesIndex("H2")] = 1.0
+	q1 := m.RateOfProgress(r, T, conc)
+	// Adding H2O (eff 12) must boost the rate ~12x more than adding N2.
+	concW := append([]float64(nil), conc...)
+	concW[m.SpeciesIndex("H2O")] = 1.0
+	concN := append([]float64(nil), conc...)
+	concN[m.SpeciesIndex("N2")] = 1.0
+	qW := m.RateOfProgress(r, T, concW)
+	qN := m.RateOfProgress(r, T, concN)
+	if !(qW > qN && qN > q1) {
+		t.Errorf("third-body ordering broken: %v %v %v", q1, qN, qW)
+	}
+	boostW := (qW - q1)
+	boostN := (qN - q1)
+	if !almost(boostW/boostN, 12.0, 0.05) {
+		t.Errorf("H2O/N2 enhancement ratio = %v, want 12", boostW/boostN)
+	}
+}
+
+func TestChainBranchingDirection(t *testing.T) {
+	// In a hot stoichiometric mixture seeded with H radicals, H2 and O2
+	// must be consumed and H2O produced.
+	m := H2Air()
+	Y := m.StoichiometricH2Air()
+	// Seed a radical pool (H alone cannot make H2O; the chain needs OH).
+	Y[m.SpeciesIndex("H")] = 1e-4
+	Y[m.SpeciesIndex("OH")] = 1e-4
+	Y[m.SpeciesIndex("O")] = 1e-4
+	NormalizeY(Y)
+	T := 1600.0
+	rho := m.Density(PAtm, T, Y)
+	conc := make([]float64, m.NumSpecies())
+	m.Concentrations(rho, Y, conc)
+	wdot := make([]float64, m.NumSpecies())
+	m.ProductionRates(T, conc, wdot)
+	if wdot[m.SpeciesIndex("H2")] >= 0 {
+		t.Errorf("H2 wdot = %v, want negative", wdot[m.SpeciesIndex("H2")])
+	}
+	if wdot[m.SpeciesIndex("O2")] >= 0 {
+		t.Errorf("O2 wdot = %v, want negative", wdot[m.SpeciesIndex("O2")])
+	}
+	if wdot[m.SpeciesIndex("H2O")] <= 0 {
+		t.Errorf("H2O wdot = %v, want positive", wdot[m.SpeciesIndex("H2O")])
+	}
+	// N2 is inert.
+	if wdot[m.SpeciesIndex("N2")] != 0 {
+		t.Errorf("N2 wdot = %v, want 0", wdot[m.SpeciesIndex("N2")])
+	}
+}
+
+func TestArrheniusTemperatureSensitivity(t *testing.T) {
+	// H+O2=O+OH has Ea ≈ 69.4 kJ/mol: rate must grow steeply with T.
+	m := H2Air()
+	conc := make([]float64, m.NumSpecies())
+	conc[m.SpeciesIndex("H")] = 1
+	conc[m.SpeciesIndex("O2")] = 1
+	r := &m.Reactions[0]
+	fwd := *r
+	fwd.Reversible = false
+	q1000 := m.RateOfProgress(&fwd, 1000, conc)
+	q2000 := m.RateOfProgress(&fwd, 2000, conc)
+	if q2000 < 20*q1000 {
+		t.Errorf("rate ratio 2000/1000 K = %v, want >> 1", q2000/q1000)
+	}
+}
+
+// ---- mixture ------------------------------------------------------------
+
+func TestMeanWStoichH2Air(t *testing.T) {
+	m := H2Air()
+	Y := m.StoichiometricH2Air()
+	// 2 H2 + 1 O2 + 3.76 N2: W = (2*2.016+31.998+3.76*28.014)/6.76 ≈ 20.9 g/mol
+	if w := m.MeanW(Y); !almost(w, 20.9e-3, 0.01) {
+		t.Errorf("meanW = %v", w)
+	}
+	var s float64
+	for _, y := range Y {
+		s += y
+	}
+	if !almost(s, 1, 1e-12) {
+		t.Errorf("Y sums to %v", s)
+	}
+}
+
+func TestDensityPressureRoundTrip(t *testing.T) {
+	m := H2Air()
+	Y := m.StoichiometricH2Air()
+	rho := m.Density(PAtm, 1000, Y)
+	if p := m.Pressure(rho, 1000, Y); !almost(p, PAtm, 1e-12) {
+		t.Errorf("pressure round trip = %v", p)
+	}
+	// Stoich H2-air at 300 K, 1 atm: rho ≈ 0.85 kg/m^3.
+	if rho300 := m.Density(PAtm, 300, Y); !almost(rho300, 0.85, 0.02) {
+		t.Errorf("rho(300K) = %v", rho300)
+	}
+}
+
+func TestMoleMassFractionRoundTrip(t *testing.T) {
+	m := H2Air()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		Y := make([]float64, m.NumSpecies())
+		var s float64
+		for i := range Y {
+			Y[i] = rng.Float64()
+			s += Y[i]
+		}
+		for i := range Y {
+			Y[i] /= s
+		}
+		X := make([]float64, m.NumSpecies())
+		Y2 := make([]float64, m.NumSpecies())
+		m.MoleFractions(Y, X)
+		m.MassFractions(X, Y2)
+		for i := range Y {
+			if !almost(Y[i], Y2[i], 1e-10) {
+				return false
+			}
+		}
+		// X sums to 1.
+		var sx float64
+		for _, x := range X {
+			sx += x
+		}
+		return almost(sx, 1, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCvLessThanCp(t *testing.T) {
+	m := H2Air()
+	Y := m.StoichiometricH2Air()
+	for _, T := range []float64{300, 1000, 2500} {
+		cp, cv := m.CpMass(T, Y), m.CvMass(T, Y)
+		if cv >= cp {
+			t.Errorf("cv %v >= cp %v at %v K", cv, cp, T)
+		}
+		if !almost(cp-cv, R/m.MeanW(Y), 1e-10) {
+			t.Errorf("cp-cv = %v, want R/W = %v", cp-cv, R/m.MeanW(Y))
+		}
+	}
+}
+
+func TestNormalizeY(t *testing.T) {
+	Y := []float64{0.5, -0.1, 0.7}
+	NormalizeY(Y)
+	if Y[1] != 0 {
+		t.Error("negative not clamped")
+	}
+	if !almost(Y[0]+Y[1]+Y[2], 1, 1e-12) {
+		t.Error("not normalized")
+	}
+	zero := []float64{0, 0}
+	NormalizeY(zero) // must not divide by zero
+	if zero[0] != 0 {
+		t.Error("zero vector mangled")
+	}
+}
+
+// ---- sources ------------------------------------------------------------
+
+func TestConstPressureSourceHeats(t *testing.T) {
+	// A radical-rich flame-like state releases heat: recombination and
+	// H2+OH=H2O+H dominate. (A pure H seed is *endothermic* at first —
+	// chain branching consumes enthalpy during induction.)
+	m := H2Air()
+	Y := m.StoichiometricH2Air()
+	Y[m.SpeciesIndex("OH")] = 1e-2
+	NormalizeY(Y)
+	ws := NewSourceWorkspace(m)
+	dY := make([]float64, m.NumSpecies())
+	dT := m.ConstPressureSource(1600, PAtm, Y, dY, ws)
+	if dT <= 0 {
+		t.Errorf("dT/dt = %v, want positive (exothermic)", dT)
+	}
+	// Σ dY = 0 (mass conservation in fraction space).
+	var s float64
+	for _, v := range dY {
+		s += v
+	}
+	if math.Abs(s) > 1e-12*1e6 {
+		t.Errorf("Σ dY/dt = %v", s)
+	}
+}
+
+func TestConstVolumeSourceHeats(t *testing.T) {
+	m := H2Air()
+	Y := m.StoichiometricH2Air()
+	Y[m.SpeciesIndex("OH")] = 1e-2
+	NormalizeY(Y)
+	ws := NewSourceWorkspace(m)
+	dY := make([]float64, m.NumSpecies())
+	rho := m.Density(PAtm, 1600, Y)
+	dT := m.ConstVolumeSource(1600, rho, Y, dY, ws)
+	if dT <= 0 {
+		t.Errorf("dT/dt = %v, want positive", dT)
+	}
+}
+
+func TestDPDtPureThermal(t *testing.T) {
+	// With frozen composition, dP/dt = rho R dT/dt / W.
+	m := H2Air()
+	Y := m.StoichiometricH2Air()
+	rho := m.Density(PAtm, 1000, Y)
+	dY := make([]float64, m.NumSpecies())
+	got := m.DPDt(rho, 1000, 50, Y, dY)
+	want := rho * R * 50 / m.MeanW(Y)
+	if !almost(got, want, 1e-12) {
+		t.Errorf("dPdt = %v, want %v", got, want)
+	}
+}
+
+func TestDPDtMatchesFiniteDifference(t *testing.T) {
+	// Along a short const-volume Euler step, P(t) change must match DPDt.
+	m := H2Air()
+	Y := m.StoichiometricH2Air()
+	Y[m.SpeciesIndex("H")] = 1e-5
+	NormalizeY(Y)
+	T := 1500.0
+	rho := m.Density(PAtm, T, Y)
+	ws := NewSourceWorkspace(m)
+	dY := make([]float64, m.NumSpecies())
+	dT := m.ConstVolumeSource(T, rho, Y, dY, ws)
+	dp := m.DPDt(rho, T, dT, Y, dY)
+
+	h := 1e-9
+	Y2 := make([]float64, len(Y))
+	for i := range Y {
+		Y2[i] = Y[i] + h*dY[i]
+	}
+	T2 := T + h*dT
+	p1 := m.Pressure(rho, T, Y)
+	p2 := m.Pressure(rho, T2, Y2)
+	fd := (p2 - p1) / h
+	if !almost(dp, fd, 1e-5) {
+		t.Errorf("dPdt = %v, finite difference = %v", dp, fd)
+	}
+}

@@ -1,0 +1,147 @@
+package chem
+
+import (
+	"math"
+	"testing"
+
+	"ccahydro/internal/cvode"
+)
+
+// Trajectory-level validation of the full mechanism through the BDF
+// integrator: conservation along the whole ignition path and physical
+// end states. These are the invariants the flame solver leans on.
+
+func integrateConstVolume(t *testing.T, mech *Mechanism, T0, P0, tEnd float64) ([]float64, float64) {
+	t.Helper()
+	ws := NewSourceWorkspace(mech)
+	n := mech.NumSpecies()
+	f := func(_ float64, y, ydot []float64) {
+		T := y[0]
+		if T < 200 {
+			T = 200
+		}
+		rho := mech.Density(y[1+n], T, y[1:1+n])
+		ydot[0] = mech.ConstVolumeSource(T, rho, y[1:1+n], ydot[1:1+n], ws)
+		ydot[1+n] = mech.DPDt(rho, T, ydot[0], y[1:1+n], ydot[1:1+n])
+	}
+	s := cvode.New(n+2, f, cvode.Options{RelTol: 1e-8, AbsTol: 1e-12})
+	y0 := make([]float64, n+2)
+	y0[0] = T0
+	copy(y0[1:1+n], mech.StoichiometricH2Air())
+	y0[1+n] = P0
+	s.Init(0, y0)
+	if err := s.Integrate(tEnd); err != nil {
+		t.Fatal(err)
+	}
+	return append([]float64(nil), s.Y()...), s.T()
+}
+
+func TestIgnitionTrajectoryConservation(t *testing.T) {
+	mech := H2Air()
+	n := mech.NumSpecies()
+	y, _ := integrateConstVolume(t, mech, 1000, PAtm, 1e-3)
+	Y := y[1 : 1+n]
+
+	// Mass fractions sum to 1 along the way (checked at the end state,
+	// which accumulated the whole trajectory's drift).
+	var sum float64
+	for _, v := range Y {
+		sum += v
+	}
+	// BDF conserves linear invariants only to integration accuracy;
+	// at rtol=1e-8 over a full ignition the drift lands ~1e-8-1e-7.
+	if math.Abs(sum-1) > 1e-6 {
+		t.Errorf("sum Y = %v", sum)
+	}
+
+	// Element conservation: H and O atom mole totals match the initial
+	// stoichiometric mixture.
+	nH := map[string]float64{"H2": 2, "H2O": 2, "OH": 1, "H": 1, "HO2": 1, "H2O2": 2}
+	nO := map[string]float64{"O2": 2, "H2O": 1, "OH": 1, "O": 1, "HO2": 2, "H2O2": 2}
+	atoms := func(Y []float64, counts map[string]float64) float64 {
+		var total float64
+		for i, sp := range mech.Species {
+			total += counts[sp.Name] * Y[i] / sp.W
+		}
+		return total
+	}
+	Y0 := mech.StoichiometricH2Air()
+	if h0, h1 := atoms(Y0, nH), atoms(Y, nH); math.Abs(h1-h0) > 1e-6*h0 {
+		t.Errorf("H atoms drifted: %v -> %v", h0, h1)
+	}
+	if o0, o1 := atoms(Y0, nO), atoms(Y, nO); math.Abs(o1-o0) > 1e-6*o0 {
+		t.Errorf("O atoms drifted: %v -> %v", o0, o1)
+	}
+
+	// Nitrogen is inert: its mass fraction is untouched to round-off.
+	iN2 := mech.SpeciesIndex("N2")
+	if math.Abs(Y[iN2]-Y0[iN2]) > 1e-7 {
+		t.Errorf("N2 changed: %v -> %v", Y0[iN2], Y[iN2])
+	}
+}
+
+func TestIgnitionEndStatePhysical(t *testing.T) {
+	mech := H2Air()
+	n := mech.NumSpecies()
+	y, _ := integrateConstVolume(t, mech, 1000, PAtm, 1e-3)
+	T, P := y[0], y[1+n]
+	Y := y[1 : 1+n]
+
+	// Constant-volume adiabatic flame temperature of stoich H2-air:
+	// ~2900 K (higher than the constant-pressure ~2400 K).
+	if T < 2700 || T > 3100 {
+		t.Errorf("T_ad,v = %v, want ~2900", T)
+	}
+	// Ideal-gas pressure rise ~2.5-2.8x.
+	if P < 2.2*PAtm || P > 3.2*PAtm {
+		t.Errorf("P = %v atm", P/PAtm)
+	}
+	// Density is conserved exactly (rigid vessel): recompute from the
+	// final state and compare to the initial.
+	rho0 := mech.Density(PAtm, 1000, mech.StoichiometricH2Air())
+	rho1 := mech.Density(P, T, Y)
+	if math.Abs(rho1-rho0) > 1e-6*rho0 {
+		t.Errorf("density drift: %v -> %v", rho0, rho1)
+	}
+	// Burnt composition: H2 and O2 mostly consumed, H2O dominant
+	// product, with a hot radical pool.
+	if Y[mech.SpeciesIndex("H2O")] < 0.15 {
+		t.Errorf("Y_H2O = %v", Y[mech.SpeciesIndex("H2O")])
+	}
+	if Y[mech.SpeciesIndex("H2")] > 0.01 {
+		t.Errorf("unburnt H2 = %v", Y[mech.SpeciesIndex("H2")])
+	}
+	for i, v := range Y {
+		if v < -1e-9 {
+			t.Errorf("Y[%s] = %v (negative)", mech.Species[i].Name, v)
+		}
+	}
+}
+
+func TestIgnitionDelayTemperatureOrdering(t *testing.T) {
+	// Hotter mixtures ignite sooner: find the 1500 K crossing time via
+	// bisection on integration horizon.
+	mech := H2Air()
+	delay := func(T0 float64) float64 {
+		lo, hi := 0.0, 2e-3
+		for iter := 0; iter < 18; iter++ {
+			mid := 0.5 * (lo + hi)
+			y, _ := integrateConstVolume(t, mech, T0, PAtm, mid)
+			if y[0] > 1500 {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi
+	}
+	d1000 := delay(1000)
+	d1200 := delay(1200)
+	if d1200 >= d1000 {
+		t.Errorf("delay(1200K)=%v >= delay(1000K)=%v", d1200, d1000)
+	}
+	// Sanity band for 1000 K, 1 atm stoich H2-air: O(0.1 ms).
+	if d1000 < 2e-5 || d1000 > 1e-3 {
+		t.Errorf("delay(1000K) = %v s", d1000)
+	}
+}

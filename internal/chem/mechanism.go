@@ -1,0 +1,206 @@
+package chem
+
+import "fmt"
+
+// Stoich is one (species, coefficient) pair in a reaction.
+type Stoich struct {
+	Index int
+	Nu    float64
+}
+
+// Reaction is one (optionally reversible, optionally third-body)
+// elementary reaction with modified-Arrhenius forward rate
+// k = A T^n exp(-Ea / (R T)).
+type Reaction struct {
+	// Equation is the human-readable form (diagnostics only).
+	Equation string
+	// Reactants and Products with positive stoichiometric coefficients.
+	Reactants, Products []Stoich
+	// A has SI units (m^3/mol)^(order-1)/s where order counts reactant
+	// molecules including the third body; N is dimensionless; Ea is
+	// J/mol.
+	A, N, Ea float64
+	// ThirdBody marks +M reactions.
+	ThirdBody bool
+	// Enhanced lists non-unity third-body efficiencies by species index.
+	Enhanced map[int]float64
+	// Reversible reactions get a reverse rate from equilibrium.
+	Reversible bool
+}
+
+// Mechanism is a closed set of species and reactions.
+type Mechanism struct {
+	Name      string
+	Species   []Species
+	Reactions []Reaction
+
+	index map[string]int
+}
+
+// NumSpecies returns the species count.
+func (m *Mechanism) NumSpecies() int { return len(m.Species) }
+
+// NumReactions returns the reaction count.
+func (m *Mechanism) NumReactions() int { return len(m.Reactions) }
+
+// SpeciesIndex resolves a species name; panics on unknown names
+// (mechanism construction bug).
+func (m *Mechanism) SpeciesIndex(name string) int {
+	i, ok := m.index[name]
+	if !ok {
+		panic(fmt.Sprintf("chem: species %q not in mechanism %q", name, m.Name))
+	}
+	return i
+}
+
+// SpeciesNames lists names in index order.
+func (m *Mechanism) SpeciesNames() []string {
+	out := make([]string, len(m.Species))
+	for i, s := range m.Species {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func (m *Mechanism) buildIndex() {
+	m.index = make(map[string]int, len(m.Species))
+	for i, s := range m.Species {
+		m.index[s.Name] = i
+	}
+}
+
+// cal converts cal/mol to J/mol.
+const cal = 4.184
+
+// cm3 converts a rate constant prefactor from (cm^3/mol)^(order-1)/s to
+// (m^3/mol)^(order-1)/s: each bimolecular collision partner contributes
+// a factor 1e-6.
+func cm3(a float64, order int) float64 {
+	for i := 1; i < order; i++ {
+		a *= 1e-6
+	}
+	return a
+}
+
+// rxn is a construction helper.
+func rxn(m *Mechanism, eq string, reac, prod []Stoich, aCGS, n, eaCal float64, thirdBody bool, enhanced map[int]float64) Reaction {
+	order := 0
+	for _, s := range reac {
+		order += int(s.Nu)
+	}
+	if thirdBody {
+		order++
+	}
+	return Reaction{
+		Equation:   eq,
+		Reactants:  reac,
+		Products:   prod,
+		A:          cm3(aCGS, order),
+		N:          n,
+		Ea:         eaCal * cal,
+		ThirdBody:  thirdBody,
+		Enhanced:   enhanced,
+		Reversible: true,
+	}
+}
+
+// H2Air returns the 9-species, 19-reversible-reaction hydrogen–air
+// mechanism (H2/O2 chain, HO2 and H2O2 chemistry, N2 inert), with rate
+// parameters from the Mueller/Yetter/Dryer hydrogen kinetics lineage
+// the paper cites. Species order: H2 O2 H2O OH H O HO2 H2O2 N2.
+func H2Air() *Mechanism {
+	m := &Mechanism{
+		Name: "h2air-9sp-19rx",
+		Species: []Species{
+			speciesH2, speciesO2, speciesH2O, speciesOH,
+			speciesH, speciesO, speciesHO2, speciesH2O2, speciesN2,
+		},
+	}
+	m.buildIndex()
+	iH2, iO2, iH2O, iOH := m.SpeciesIndex("H2"), m.SpeciesIndex("O2"), m.SpeciesIndex("H2O"), m.SpeciesIndex("OH")
+	iH, iO, iHO2, iH2O2 := m.SpeciesIndex("H"), m.SpeciesIndex("O"), m.SpeciesIndex("HO2"), m.SpeciesIndex("H2O2")
+
+	// Common third-body efficiencies (relative to N2 = 1).
+	eff := map[int]float64{iH2: 2.5, iH2O: 12.0}
+
+	s1 := func(i int) []Stoich { return []Stoich{{i, 1}} }
+	s2 := func(i, j int) []Stoich {
+		if i == j {
+			return []Stoich{{i, 2}}
+		}
+		return []Stoich{{i, 1}, {j, 1}}
+	}
+
+	m.Reactions = []Reaction{
+		// Chain reactions.
+		rxn(m, "H+O2=O+OH", s2(iH, iO2), s2(iO, iOH), 3.547e15, -0.406, 16599, false, nil),
+		rxn(m, "O+H2=H+OH", s2(iO, iH2), s2(iH, iOH), 0.508e5, 2.67, 6290, false, nil),
+		rxn(m, "H2+OH=H2O+H", s2(iH2, iOH), s2(iH2O, iH), 0.216e9, 1.51, 3430, false, nil),
+		rxn(m, "O+H2O=OH+OH", s2(iO, iH2O), s2(iOH, iOH), 2.97e6, 2.02, 13400, false, nil),
+		// Dissociation / recombination (third body).
+		rxn(m, "H2+M=H+H+M", s1(iH2), s2(iH, iH), 4.577e19, -1.40, 104380, true, eff),
+		rxn(m, "O+O+M=O2+M", s2(iO, iO), s1(iO2), 6.165e15, -0.50, 0, true, eff),
+		rxn(m, "O+H+M=OH+M", s2(iO, iH), s1(iOH), 4.714e18, -1.00, 0, true, eff),
+		rxn(m, "H+OH+M=H2O+M", s2(iH, iOH), s1(iH2O), 3.800e22, -2.00, 0, true, eff),
+		// HO2 formation and consumption (low-pressure-limit third-body
+		// form of H+O2(+M)).
+		rxn(m, "H+O2+M=HO2+M", s2(iH, iO2), s1(iHO2), 6.366e20, -1.72, 524.8, true, map[int]float64{iH2: 2.0, iH2O: 11.0, iO2: 0.78}),
+		rxn(m, "HO2+H=H2+O2", s2(iHO2, iH), s2(iH2, iO2), 1.660e13, 0, 823, false, nil),
+		rxn(m, "HO2+H=OH+OH", s2(iHO2, iH), s2(iOH, iOH), 7.079e13, 0, 295, false, nil),
+		rxn(m, "HO2+O=O2+OH", s2(iHO2, iO), s2(iO2, iOH), 3.250e13, 0, 0, false, nil),
+		rxn(m, "HO2+OH=H2O+O2", s2(iHO2, iOH), s2(iH2O, iO2), 2.890e13, 0, -497, false, nil),
+		// H2O2 chemistry.
+		rxn(m, "HO2+HO2=H2O2+O2", s2(iHO2, iHO2), s2(iH2O2, iO2), 4.200e14, 0, 11982, false, nil),
+		rxn(m, "H2O2+M=OH+OH+M", s1(iH2O2), s2(iOH, iOH), 1.202e17, 0, 45500, true, eff),
+		rxn(m, "H2O2+H=H2O+OH", s2(iH2O2, iH), s2(iH2O, iOH), 2.410e13, 0, 3970, false, nil),
+		rxn(m, "H2O2+H=HO2+H2", s2(iH2O2, iH), s2(iHO2, iH2), 4.820e13, 0, 7950, false, nil),
+		rxn(m, "H2O2+O=OH+HO2", s2(iH2O2, iO), s2(iOH, iHO2), 9.550e6, 2.0, 3970, false, nil),
+		rxn(m, "H2O2+OH=HO2+H2O", s2(iH2O2, iOH), s2(iHO2, iH2O), 1.000e12, 0, 0, false, nil),
+	}
+	return m
+}
+
+// H2AirLite returns the light 8-species, 5-reaction mechanism used for
+// the paper's Table 4 single-processor overhead study (deliberately
+// cheap RHS so dispatch overhead is a large fraction of run time).
+// Species order: H2 O2 H2O OH H O HO2 N2.
+func H2AirLite() *Mechanism {
+	m := &Mechanism{
+		Name: "h2air-lite-8sp-5rx",
+		Species: []Species{
+			speciesH2, speciesO2, speciesH2O, speciesOH,
+			speciesH, speciesO, speciesHO2, speciesN2,
+		},
+	}
+	m.buildIndex()
+	iH2, iO2, iH2O, iOH := m.SpeciesIndex("H2"), m.SpeciesIndex("O2"), m.SpeciesIndex("H2O"), m.SpeciesIndex("OH")
+	iH, iO, iHO2 := m.SpeciesIndex("H"), m.SpeciesIndex("O"), m.SpeciesIndex("HO2")
+	s2 := func(i, j int) []Stoich {
+		if i == j {
+			return []Stoich{{i, 2}}
+		}
+		return []Stoich{{i, 1}, {j, 1}}
+	}
+	s1 := func(i int) []Stoich { return []Stoich{{i, 1}} }
+	m.Reactions = []Reaction{
+		rxn(m, "H+O2=O+OH", s2(iH, iO2), s2(iO, iOH), 3.547e15, -0.406, 16599, false, nil),
+		rxn(m, "O+H2=H+OH", s2(iO, iH2), s2(iH, iOH), 0.508e5, 2.67, 6290, false, nil),
+		rxn(m, "H2+OH=H2O+H", s2(iH2, iOH), s2(iH2O, iH), 0.216e9, 1.51, 3430, false, nil),
+		rxn(m, "H+O2+M=HO2+M", s2(iH, iO2), s1(iHO2), 6.366e20, -1.72, 524.8, true, map[int]float64{iH2: 2.0, iH2O: 11.0, iO2: 0.78}),
+		rxn(m, "HO2+H=OH+OH", s2(iHO2, iH), s2(iOH, iOH), 7.079e13, 0, 295, false, nil),
+	}
+	return m
+}
+
+// ByName returns a mechanism by registry name ("h2air" or "h2air-lite").
+func ByName(name string) (*Mechanism, error) {
+	switch name {
+	case "h2air", "h2air-9sp-19rx":
+		return H2Air(), nil
+	case "h2air-lite", "h2air-lite-8sp-5rx":
+		return H2AirLite(), nil
+	case "co-h2-air", "co-h2-air-12sp-28rx":
+		return COH2Air(), nil
+	}
+	return nil, fmt.Errorf("chem: unknown mechanism %q", name)
+}

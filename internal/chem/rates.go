@@ -1,0 +1,105 @@
+package chem
+
+import "math"
+
+// Rate evaluation: net molar production rates from concentrations, with
+// reverse rates computed from equilibrium thermodynamics so the
+// mechanism relaxes to the correct chemical equilibrium.
+
+// RateOfProgress returns the net rate q = kf*Π[R]^nu - kr*Π[P]^nu of
+// one reaction (mol/m^3/s), including the third-body factor.
+func (m *Mechanism) RateOfProgress(r *Reaction, T float64, conc []float64) float64 {
+	kf := r.A * math.Pow(T, r.N) * math.Exp(-r.Ea/(R*T))
+
+	// Third-body concentration.
+	cm := 1.0
+	if r.ThirdBody {
+		cm = 0
+		for i := range conc {
+			e := 1.0
+			if r.Enhanced != nil {
+				if v, ok := r.Enhanced[i]; ok {
+					e = v
+				}
+			}
+			cm += e * conc[i]
+		}
+	}
+
+	fwd := kf
+	for _, s := range r.Reactants {
+		fwd *= ipow(conc[s.Index], s.Nu)
+	}
+
+	var rev float64
+	if r.Reversible {
+		kr := kf / m.equilibriumKc(r, T)
+		rev = kr
+		for _, s := range r.Products {
+			rev *= ipow(conc[s.Index], s.Nu)
+		}
+	}
+	return cm * (fwd - rev)
+}
+
+// equilibriumKc computes the concentration equilibrium constant from
+// standard-state Gibbs energies: Kp = exp(-ΔG0/RT), Kc = Kp (P0/RT)^Δn.
+func (m *Mechanism) equilibriumKc(r *Reaction, T float64) float64 {
+	var dGRT, dn float64
+	for _, s := range r.Products {
+		dGRT += s.Nu * m.Species[s.Index].GRT(T)
+		dn += s.Nu
+	}
+	for _, s := range r.Reactants {
+		dGRT -= s.Nu * m.Species[s.Index].GRT(T)
+		dn -= s.Nu
+	}
+	kp := math.Exp(-dGRT)
+	return kp * math.Pow(PAtm/(R*T), dn)
+}
+
+// ipow computes c^nu for small integral nu fast, falling back to Pow.
+func ipow(c, nu float64) float64 {
+	switch nu {
+	case 1:
+		return c
+	case 2:
+		return c * c
+	case 3:
+		return c * c * c
+	}
+	return math.Pow(c, nu)
+}
+
+// ProductionRates fills wdot (length NumSpecies) with net molar
+// production rates in mol/(m^3 s) given temperature and molar
+// concentrations (mol/m^3).
+func (m *Mechanism) ProductionRates(T float64, conc, wdot []float64) {
+	for i := range wdot {
+		wdot[i] = 0
+	}
+	for ri := range m.Reactions {
+		r := &m.Reactions[ri]
+		q := m.RateOfProgress(r, T, conc)
+		for _, s := range r.Reactants {
+			wdot[s.Index] -= s.Nu * q
+		}
+		for _, s := range r.Products {
+			wdot[s.Index] += s.Nu * q
+		}
+	}
+}
+
+// Concentrations converts (rho, Y) to molar concentrations: c_i =
+// rho Y_i / W_i. out must have NumSpecies entries.
+//
+// Slightly negative mass fractions (implicit-solver transients around
+// zero) are passed through unclamped: every rate law here is
+// polynomial in the concentrations (integer stoichiometry), so the
+// smooth continuation keeps Newton iterations well behaved, whereas a
+// clamp puts a derivative kink exactly where trace species oscillate.
+func (m *Mechanism) Concentrations(rho float64, Y, out []float64) {
+	for i := range m.Species {
+		out[i] = rho * Y[i] / m.Species[i].W
+	}
+}

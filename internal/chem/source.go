@@ -1,0 +1,80 @@
+package chem
+
+// Chemical source terms for the two closures the paper uses:
+//
+//   - constant pressure (open domain): the 2D reaction–diffusion flame,
+//     where pressure is constant in time and space;
+//   - constant volume (rigid walls): the 0D ignition problem, where the
+//     dPdt component supplies the pressure term the problemModeler
+//     adaptor adds to the heat equation.
+
+// SourceWorkspace holds scratch arrays so hot loops don't allocate.
+type SourceWorkspace struct {
+	conc []float64
+	wdot []float64
+}
+
+// NewSourceWorkspace sizes scratch for a mechanism.
+func NewSourceWorkspace(m *Mechanism) *SourceWorkspace {
+	return &SourceWorkspace{
+		conc: make([]float64, m.NumSpecies()),
+		wdot: make([]float64, m.NumSpecies()),
+	}
+}
+
+// ConstPressureSource evaluates the reactive source at fixed pressure:
+//
+//	dY_i/dt = wdot_i W_i / rho
+//	dT/dt   = -(Σ h_i wdot_i W_i) / (rho cp)
+//
+// Returns dT/dt and fills dY (length NumSpecies).
+func (m *Mechanism) ConstPressureSource(T, P float64, Y []float64, dY []float64, ws *SourceWorkspace) float64 {
+	rho := m.Density(P, T, Y)
+	m.Concentrations(rho, Y, ws.conc)
+	m.ProductionRates(T, ws.conc, ws.wdot)
+	var hdot float64
+	for i := range m.Species {
+		wi := ws.wdot[i] * m.Species[i].W
+		dY[i] = wi / rho
+		hdot += m.Species[i].HMass(T) * wi
+	}
+	cp := m.CpMass(T, Y)
+	return -hdot / (rho * cp)
+}
+
+// ConstVolumeSource evaluates the reactive source in a rigid adiabatic
+// vessel (fixed rho):
+//
+//	dY_i/dt = wdot_i W_i / rho
+//	dT/dt   = -(Σ u_i wdot_i W_i) / (rho cv)
+//
+// Returns dT/dt and fills dY.
+func (m *Mechanism) ConstVolumeSource(T, rho float64, Y []float64, dY []float64, ws *SourceWorkspace) float64 {
+	m.Concentrations(rho, Y, ws.conc)
+	m.ProductionRates(T, ws.conc, ws.wdot)
+	var udot float64
+	for i := range m.Species {
+		wi := ws.wdot[i] * m.Species[i].W
+		dY[i] = wi / rho
+		u := m.Species[i].HMass(T) - R*T/m.Species[i].W
+		udot += u * wi
+	}
+	cv := m.CvMass(T, Y)
+	return -udot / (rho * cv)
+}
+
+// DPDt computes the pressure time derivative in the rigid vessel from
+// the current temperature/composition rates:
+//
+//	P = rho R T / W  =>  dP/dt = rho R (dT/dt / W + T d(1/W)/dt)
+//
+// where d(1/W)/dt = Σ dY_i/dt / W_i. This is the paper's dPdt
+// component, used by the problemModeler adaptor.
+func (m *Mechanism) DPDt(rho, T, dTdt float64, Y, dYdt []float64) float64 {
+	var invW, dInvW float64
+	for i := range m.Species {
+		invW += Y[i] / m.Species[i].W
+		dInvW += dYdt[i] / m.Species[i].W
+	}
+	return rho * R * (dTdt*invW + T*dInvW)
+}

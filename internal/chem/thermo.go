@@ -1,0 +1,140 @@
+// Package chem implements gas-phase thermochemistry: NASA-7 polynomial
+// thermodynamics, reversible Arrhenius kinetics with third bodies, and
+// the H2–air reaction mechanisms the paper's ThermoChemistry component
+// wraps (a 9-species/19-reaction hydrogen mechanism for the ignition
+// and flame problems, and the light 8-species/5-reaction variant used
+// for the Table 4 overhead study).
+//
+// All quantities are SI: J, mol, kg, m, s, K. Rate data quoted in the
+// combustion literature's cm–mol–cal units are converted at mechanism
+// construction time.
+package chem
+
+import "math"
+
+// Universal gas constant, J/(mol K).
+const R = 8.31446261815324
+
+// PAtm is one standard atmosphere in Pa (thermodynamic standard state).
+const PAtm = 101325.0
+
+// Species couples a name, molar mass and NASA-7 thermodynamic fit.
+type Species struct {
+	Name string
+	// W is the molar mass in kg/mol.
+	W float64
+	// Low and High are the 7 NASA polynomial coefficients below and
+	// above Tmid.
+	Low, High [7]float64
+	// Tmid separates the two fit ranges (usually 1000 K).
+	Tmid float64
+}
+
+func (s *Species) coeffs(T float64) *[7]float64 {
+	if T < s.Tmid {
+		return &s.Low
+	}
+	return &s.High
+}
+
+// CpR returns cp/R (dimensionless molar heat capacity).
+func (s *Species) CpR(T float64) float64 {
+	a := s.coeffs(T)
+	return a[0] + T*(a[1]+T*(a[2]+T*(a[3]+T*a[4])))
+}
+
+// HRT returns h/(R T), the dimensionless molar enthalpy including the
+// heat of formation.
+func (s *Species) HRT(T float64) float64 {
+	a := s.coeffs(T)
+	return a[0] + T*(a[1]/2+T*(a[2]/3+T*(a[3]/4+T*a[4]/5))) + a[5]/T
+}
+
+// SR returns s0/R, the dimensionless standard-state molar entropy.
+func (s *Species) SR(T float64) float64 {
+	a := s.coeffs(T)
+	return a[0]*math.Log(T) + T*(a[1]+T*(a[2]/2+T*(a[3]/3+T*a[4]/4))) + a[6]
+}
+
+// CpMolar returns cp in J/(mol K).
+func (s *Species) CpMolar(T float64) float64 { return R * s.CpR(T) }
+
+// HMolar returns h in J/mol.
+func (s *Species) HMolar(T float64) float64 { return R * T * s.HRT(T) }
+
+// GRT returns g/(R T) = h/(R T) - s/R (dimensionless Gibbs energy).
+func (s *Species) GRT(T float64) float64 { return s.HRT(T) - s.SR(T) }
+
+// CpMass returns cp in J/(kg K).
+func (s *Species) CpMass(T float64) float64 { return s.CpMolar(T) / s.W }
+
+// HMass returns h in J/kg.
+func (s *Species) HMass(T float64) float64 { return s.HMolar(T) / s.W }
+
+// NASA-7 coefficient data from the GRI-Mech 3.0 thermodynamic database
+// (valid roughly 200/300 K to 3500/5000 K with Tmid = 1000 K).
+var (
+	speciesH2 = Species{
+		Name: "H2", W: 2.016e-3, Tmid: 1000,
+		Low: [7]float64{2.34433112e+00, 7.98052075e-03, -1.94781510e-05,
+			2.01572094e-08, -7.37611761e-12, -9.17935173e+02, 6.83010238e-01},
+		High: [7]float64{3.33727920e+00, -4.94024731e-05, 4.99456778e-07,
+			-1.79566394e-10, 2.00255376e-14, -9.50158922e+02, -3.20502331e+00},
+	}
+	speciesO2 = Species{
+		Name: "O2", W: 31.998e-3, Tmid: 1000,
+		Low: [7]float64{3.78245636e+00, -2.99673416e-03, 9.84730201e-06,
+			-9.68129509e-09, 3.24372837e-12, -1.06394356e+03, 3.65767573e+00},
+		High: [7]float64{3.28253784e+00, 1.48308754e-03, -7.57966669e-07,
+			2.09470555e-10, -2.16717794e-14, -1.08845772e+03, 5.45323129e+00},
+	}
+	speciesH2O = Species{
+		Name: "H2O", W: 18.015e-3, Tmid: 1000,
+		Low: [7]float64{4.19864056e+00, -2.03643410e-03, 6.52040211e-06,
+			-5.48797062e-09, 1.77197817e-12, -3.02937267e+04, -8.49032208e-01},
+		High: [7]float64{3.03399249e+00, 2.17691804e-03, -1.64072518e-07,
+			-9.70419870e-11, 1.68200992e-14, -3.00042971e+04, 4.96677010e+00},
+	}
+	speciesOH = Species{
+		Name: "OH", W: 17.007e-3, Tmid: 1000,
+		Low: [7]float64{3.99201543e+00, -2.40131752e-03, 4.61793841e-06,
+			-3.88113333e-09, 1.36411470e-12, 3.61508056e+03, -1.03925458e-01},
+		High: [7]float64{3.09288767e+00, 5.48429716e-04, 1.26505228e-07,
+			-8.79461556e-11, 1.17412376e-14, 3.85865700e+03, 4.47669610e+00},
+	}
+	speciesH = Species{
+		Name: "H", W: 1.008e-3, Tmid: 1000,
+		Low: [7]float64{2.50000000e+00, 7.05332819e-13, -1.99591964e-15,
+			2.30081632e-18, -9.27732332e-22, 2.54736599e+04, -4.46682853e-01},
+		High: [7]float64{2.50000001e+00, -2.30842973e-11, 1.61561948e-14,
+			-4.73515235e-18, 4.98197357e-22, 2.54736599e+04, -4.46682914e-01},
+	}
+	speciesO = Species{
+		Name: "O", W: 15.999e-3, Tmid: 1000,
+		Low: [7]float64{3.16826710e+00, -3.27931884e-03, 6.64306396e-06,
+			-6.12806624e-09, 2.11265971e-12, 2.91222592e+04, 2.05193346e+00},
+		High: [7]float64{2.56942078e+00, -8.59741137e-05, 4.19484589e-08,
+			-1.00177799e-11, 1.22833691e-15, 2.92175791e+04, 4.78433864e+00},
+	}
+	speciesHO2 = Species{
+		Name: "HO2", W: 33.006e-3, Tmid: 1000,
+		Low: [7]float64{4.30179801e+00, -4.74912051e-03, 2.11582891e-05,
+			-2.42763894e-08, 9.29225124e-12, 2.94808040e+02, 3.71666245e+00},
+		High: [7]float64{4.01721090e+00, 2.23982013e-03, -6.33658150e-07,
+			1.14246370e-10, -1.07908535e-14, 1.11856713e+02, 3.78510215e+00},
+	}
+	speciesH2O2 = Species{
+		Name: "H2O2", W: 34.014e-3, Tmid: 1000,
+		Low: [7]float64{4.27611269e+00, -5.42822417e-04, 1.67335701e-05,
+			-2.15770813e-08, 8.62454363e-12, -1.77025821e+04, 3.43505074e+00},
+		High: [7]float64{4.16500285e+00, 4.90831694e-03, -1.90139225e-06,
+			3.71185986e-10, -2.87908305e-14, -1.78617877e+04, 2.91615662e+00},
+	}
+	speciesN2 = Species{
+		Name: "N2", W: 28.014e-3, Tmid: 1000,
+		Low: [7]float64{3.29867700e+00, 1.40824040e-03, -3.96322200e-06,
+			5.64151500e-09, -2.44485400e-12, -1.02089990e+03, 3.95037200e+00},
+		High: [7]float64{2.92664000e+00, 1.48797680e-03, -5.68476000e-07,
+			1.00970380e-10, -6.75335100e-15, -9.22797700e+02, 5.98052800e+00},
+	}
+)

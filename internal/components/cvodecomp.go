@@ -1,0 +1,81 @@
+package components
+
+import (
+	"ccahydro/internal/cca"
+	"ccahydro/internal/cvode"
+)
+
+// CvodeComponent is a thin wrapper around the BDF stiff integrator
+// (paper Sec. 4.1). It pulls its right-hand side through the "rhs"
+// uses port and exposes an ImplicitIntegratorPort. Tolerances come
+// from the "rtol"/"atol" parameters.
+type CvodeComponent struct {
+	svc    cca.Services
+	solver *cvode.Solver
+	rhs    RHSPort // fetched once; invocation is then one interface dispatch
+	dim    int
+	rtol   float64
+	atol   float64
+	// accumulated stats across calls
+	total cvode.Stats
+}
+
+// SetServices implements cca.Component.
+func (cc *CvodeComponent) SetServices(svc cca.Services) error {
+	cc.svc = svc
+	cc.rtol = svc.Parameters().GetFloat("rtol", 1e-8)
+	cc.atol = svc.Parameters().GetFloat("atol", 1e-12)
+	if err := svc.RegisterUsesPort("rhs", RHSPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(cc, "integrator", ImplicitIntegratorType)
+}
+
+// rhsPort fetches the connected RHS once and holds it — the CCA
+// pattern: connecting ports moves an interface pointer, and a method
+// invocation costs one dispatch, not a framework lookup.
+func (cc *CvodeComponent) rhsPort() RHSPort {
+	if cc.rhs == nil {
+		p, err := cc.svc.GetPort("rhs")
+		if err != nil {
+			panic(err)
+		}
+		cc.rhs = p.(RHSPort)
+	}
+	return cc.rhs
+}
+
+// ensureSolver (re)creates the solver when the RHS dimension changes.
+func (cc *CvodeComponent) ensureSolver() {
+	rhs := cc.rhsPort()
+	dim := rhs.Dim()
+	if cc.solver != nil && dim == cc.dim {
+		return
+	}
+	cc.dim = dim
+	f := func(t float64, y, ydot []float64) { cc.rhsPort().Eval(t, y, ydot) }
+	cc.solver = cvode.New(dim, f, cvode.Options{
+		RelTol: cc.rtol,
+		AbsTol: cc.atol,
+	})
+}
+
+// IntegrateTo implements ImplicitIntegratorPort: advance y in place
+// from t0 to t1.
+func (cc *CvodeComponent) IntegrateTo(t0, t1 float64, y []float64) (cvode.Stats, error) {
+	cc.ensureSolver()
+	cc.solver.Init(t0, y)
+	if err := cc.solver.Integrate(t1); err != nil {
+		return cc.solver.Stats(), err
+	}
+	copy(y, cc.solver.Y())
+	st := cc.solver.Stats()
+	cc.total.Steps += st.Steps
+	cc.total.RHSEvals += st.RHSEvals
+	cc.total.JacEvals += st.JacEvals
+	cc.total.NewtonIters += st.NewtonIters
+	return st, nil
+}
+
+// TotalStats reports work accumulated over all IntegrateTo calls.
+func (cc *CvodeComponent) TotalStats() cvode.Stats { return cc.total }

@@ -1,0 +1,243 @@
+package components
+
+import (
+	"ccahydro/internal/cca"
+	"ccahydro/internal/chem"
+	"ccahydro/internal/field"
+	"ccahydro/internal/transport"
+)
+
+// DRFMComponent wraps the transport-property package (the paper wraps
+// the Fortran77 DRFM library the same way): mixture-averaged diffusion
+// coefficients and conductivity through a TransportPort. The "mech"
+// parameter must match the ThermoChemistry instance it serves.
+type DRFMComponent struct {
+	model *transport.Model
+}
+
+// SetServices implements cca.Component.
+func (dc *DRFMComponent) SetServices(svc cca.Services) error {
+	name := svc.Parameters().GetString("mech", "h2air")
+	m, err := chem.ByName(name)
+	if err != nil {
+		return err
+	}
+	dc.model = transport.New(m)
+	return svc.AddProvidesPort(dc, "transport", TransportPortType)
+}
+
+// Properties implements TransportPort.
+func (dc *DRFMComponent) Properties(T, P float64, Y, X, D []float64) (float64, float64) {
+	return dc.model.Evaluate(T, P, Y, X, D)
+}
+
+// MaxDiffusivity implements TransportPort: max over species
+// diffusivities and thermal diffusivity at the state.
+func (dc *DRFMComponent) MaxDiffusivity(T, P float64, Y []float64) float64 {
+	mech := dc.model.Mechanism()
+	n := mech.NumSpecies()
+	X := make([]float64, n)
+	D := make([]float64, n)
+	lam, rho := dc.model.Evaluate(T, P, Y, X, D)
+	maxD := lam / (rho * mech.CpMass(T, Y))
+	for _, d := range D {
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// DiffusionPhysics evaluates the diffusive transport source term
+//
+//	K ∇·(B ∇Φ),  K = (1/ρ){1/cp, 1, ..., 1},  B = {λ, ρD_1, ..., ρD_n}
+//
+// patch by patch (paper Eq. 3), with face-centered coefficients taken
+// as arithmetic means of cell values. Field layout: [T, Y_0..Y_{n-1}];
+// pressure is the constant "P" parameter (open-domain burning).
+type DiffusionPhysics struct {
+	svc cca.Services
+	p0  float64
+
+	// Per-call scratch, sized on first use.
+	nsp        int
+	xs, ds     []float64
+	lamF, rhoF []float64 // per-cell lambda and rho caches for a row? (kept simple)
+}
+
+// SetServices implements cca.Component.
+func (dp *DiffusionPhysics) SetServices(svc cca.Services) error {
+	dp.svc = svc
+	dp.p0 = svc.Parameters().GetFloat("P", chem.PAtm)
+	if err := svc.RegisterUsesPort("transport", TransportPortType); err != nil {
+		return err
+	}
+	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(dp, "patchRHS", PatchRHSPortType)
+}
+
+func (dp *DiffusionPhysics) ports() (TransportPort, ChemistryPort) {
+	tp, err := dp.svc.GetPort("transport")
+	if err != nil {
+		panic(err)
+	}
+	dp.svc.ReleasePort("transport")
+	cp, err := dp.svc.GetPort("chemistry")
+	if err != nil {
+		panic(err)
+	}
+	dp.svc.ReleasePort("chemistry")
+	return tp.(TransportPort), cp.(ChemistryPort)
+}
+
+// cellProps evaluates (lambda, rho*D_i, rho, cp) at a cell.
+type cellProps struct {
+	lam  float64
+	rhoD []float64
+	rho  float64
+	cp   float64
+}
+
+// EvalPatch implements PatchRHSPort. pd holds [T, Y...] with ghosts
+// filled; out receives dPhi/dt on the interior.
+func (dp *DiffusionPhysics) EvalPatch(pd, out *field.PatchData, dx, dy float64) {
+	tp, cp := dp.ports()
+	mech := cp.Mechanism()
+	nsp := mech.NumSpecies()
+	if dp.nsp != nsp {
+		dp.nsp = nsp
+		dp.xs = make([]float64, nsp)
+		dp.ds = make([]float64, nsp)
+	}
+	b := pd.Interior()
+	g := b.Grow(1)
+
+	// Evaluate properties on the interior grown by one (the stencil
+	// support), caching by cell.
+	nxg, nyg := g.Size()
+	props := make([]cellProps, nxg*nyg)
+	idx := func(i, j int) int { return (j-g.Lo[1])*nxg + (i - g.Lo[0]) }
+	Y := make([]float64, nsp)
+	for j := g.Lo[1]; j <= g.Hi[1]; j++ {
+		for i := g.Lo[0]; i <= g.Hi[0]; i++ {
+			T := pd.At(0, i, j)
+			if T < 150 {
+				T = 150
+			}
+			for k := 0; k < nsp; k++ {
+				Y[k] = pd.At(1+k, i, j)
+			}
+			chem.NormalizeY(Y)
+			lam, rho := tp.Properties(T, dp.p0, Y, dp.xs, dp.ds)
+			pr := cellProps{lam: lam, rho: rho, cp: mech.CpMass(T, Y), rhoD: make([]float64, nsp)}
+			for k := 0; k < nsp; k++ {
+				pr.rhoD[k] = rho * dp.ds[k]
+			}
+			props[idx(i, j)] = pr
+		}
+	}
+
+	invDx2 := 1 / (dx * dx)
+	invDy2 := 1 / (dy * dy)
+	for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+		for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+			pc := &props[idx(i, j)]
+			pe := &props[idx(i+1, j)]
+			pw := &props[idx(i-1, j)]
+			pn := &props[idx(i, j+1)]
+			ps := &props[idx(i, j-1)]
+
+			// Temperature: (1/(rho cp)) ∇·(λ∇T).
+			tC := pd.At(0, i, j)
+			div := (0.5*(pe.lam+pc.lam)*(pd.At(0, i+1, j)-tC)-
+				0.5*(pc.lam+pw.lam)*(tC-pd.At(0, i-1, j)))*invDx2 +
+				(0.5*(pn.lam+pc.lam)*(pd.At(0, i, j+1)-tC)-
+					0.5*(pc.lam+ps.lam)*(tC-pd.At(0, i, j-1)))*invDy2
+			out.Set(0, i, j, div/(pc.rho*pc.cp))
+
+			// Species: (1/rho) ∇·(rho D_k ∇Y_k).
+			for k := 0; k < nsp; k++ {
+				yC := pd.At(1+k, i, j)
+				divK := (0.5*(pe.rhoD[k]+pc.rhoD[k])*(pd.At(1+k, i+1, j)-yC)-
+					0.5*(pc.rhoD[k]+pw.rhoD[k])*(yC-pd.At(1+k, i-1, j)))*invDx2 +
+					(0.5*(pn.rhoD[k]+pc.rhoD[k])*(pd.At(1+k, i, j+1)-yC)-
+						0.5*(pc.rhoD[k]+ps.rhoD[k])*(yC-pd.At(1+k, i, j-1)))*invDy2
+				out.Set(1+k, i, j, divK/pc.rho)
+			}
+		}
+	}
+}
+
+// MaxDiffCoeffEvaluator scans the field for the largest diffusion
+// coefficient so the explicit integrator can bound the spectral radius
+// of the discrete diffusion operator (paper Sec. 4.2).
+type MaxDiffCoeffEvaluator struct {
+	svc cca.Services
+	p0  float64
+}
+
+// SetServices implements cca.Component.
+func (me *MaxDiffCoeffEvaluator) SetServices(svc cca.Services) error {
+	me.svc = svc
+	me.p0 = svc.Parameters().GetFloat("P", chem.PAtm)
+	if err := svc.RegisterUsesPort("transport", TransportPortType); err != nil {
+		return err
+	}
+	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(me, "maxEigen", SpectralRadiusPortType)
+}
+
+// MaxEigen implements SpectralRadiusPort: rho(J) <= 4 Dmax (1/dx^2 +
+// 1/dy^2) for the 5-point diffusion stencil, maximized over levels.
+// Sampling every 4th cell keeps the scan cheap; Dmax varies smoothly.
+// In an SCMD cohort the result is allreduced so every rank agrees.
+func (me *MaxDiffCoeffEvaluator) MaxEigen(mesh MeshPort, name string) float64 {
+	tp, err := me.svc.GetPort("transport")
+	if err != nil {
+		panic(err)
+	}
+	me.svc.ReleasePort("transport")
+	cp, err := me.svc.GetPort("chemistry")
+	if err != nil {
+		panic(err)
+	}
+	me.svc.ReleasePort("chemistry")
+	mech := cp.(ChemistryPort).Mechanism()
+	nsp := mech.NumSpecies()
+	Y := make([]float64, nsp)
+
+	d := mesh.Field(name)
+	h := d.Hierarchy()
+	var maxEig float64
+	for l := 0; l < h.NumLevels(); l++ {
+		dx, dy := mesh.Spacing(l)
+		geom := 4 * (1/(dx*dx) + 1/(dy*dy))
+		for _, pd := range d.LocalPatches(l) {
+			b := pd.Interior()
+			for j := b.Lo[1]; j <= b.Hi[1]; j += 4 {
+				for i := b.Lo[0]; i <= b.Hi[0]; i += 4 {
+					T := pd.At(0, i, j)
+					if T < 150 {
+						T = 150
+					}
+					for k := 0; k < nsp; k++ {
+						Y[k] = pd.At(1+k, i, j)
+					}
+					chem.NormalizeY(Y)
+					dmax := tp.(TransportPort).MaxDiffusivity(T, me.p0, Y)
+					if e := dmax * geom; e > maxEig {
+						maxEig = e
+					}
+				}
+			}
+		}
+	}
+	if comm := me.svc.Comm(); comm != nil && comm.Size() > 1 {
+		maxEig = comm.AllreduceScalar(mpiOpMax, maxEig)
+	}
+	return maxEig
+}

@@ -1,0 +1,192 @@
+package components
+
+import (
+	"fmt"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/field"
+	"ccahydro/internal/mpi"
+	"ccahydro/internal/rkc"
+)
+
+// mpiOpMax aliases the reduction op to keep diffusion.go import-light.
+const mpiOpMax = mpi.OpMax
+
+// ExplicitIntegrator is the Runge–Kutta–Chebyshev time integrator of
+// the Explicit Integration subsystem: it advances a Data Object level
+// over a time interval, pulling the right-hand side one patch at a
+// time through its "patchRHS" uses port and bounding the stable step
+// with the "maxEigen" port (paper Sec. 4.2). Parameters: "rtol",
+// "atol" (RKC error control).
+//
+// The level's patches are flattened into one state vector per rank;
+// every RHS evaluation performs the full ghost protocol (BCs,
+// coarse–fine fill, exchange) so the cohort stays synchronized —
+// which is why the port contract says integrators act on Data Objects
+// "in a synchronized manner".
+type ExplicitIntegrator struct {
+	svc cca.Services
+}
+
+// SetServices implements cca.Component.
+func (ei *ExplicitIntegrator) SetServices(svc cca.Services) error {
+	ei.svc = svc
+	if err := svc.RegisterUsesPort("patchRHS", PatchRHSPortType); err != nil {
+		return err
+	}
+	if err := svc.RegisterUsesPort("maxEigen", SpectralRadiusPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(ei, "integrator", ExplicitIntegratorType)
+}
+
+func (ei *ExplicitIntegrator) port(name string) cca.Port {
+	p, err := ei.svc.GetPort(name)
+	if err != nil {
+		panic(fmt.Sprintf("ExplicitIntegrator: %v", err))
+	}
+	ei.svc.ReleasePort(name)
+	return p
+}
+
+// levelVector flattens the interiors of a level's local patches into a
+// single vector and back.
+type levelVector struct {
+	patches []*field.PatchData
+	sizes   []int
+	ncomp   int
+}
+
+func newLevelVector(patches []*field.PatchData, ncomp int) *levelVector {
+	lv := &levelVector{patches: patches, ncomp: ncomp}
+	for _, pd := range patches {
+		lv.sizes = append(lv.sizes, ncomp*pd.Interior().NumCells())
+	}
+	return lv
+}
+
+func (lv *levelVector) dim() int {
+	n := 0
+	for _, s := range lv.sizes {
+		n += s
+	}
+	return n
+}
+
+func (lv *levelVector) gather(out []float64) {
+	o := 0
+	for _, pd := range lv.patches {
+		b := pd.Interior()
+		for c := 0; c < lv.ncomp; c++ {
+			for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+				for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+					out[o] = pd.At(c, i, j)
+					o++
+				}
+			}
+		}
+	}
+}
+
+func (lv *levelVector) scatter(in []float64) {
+	o := 0
+	for _, pd := range lv.patches {
+		b := pd.Interior()
+		for c := 0; c < lv.ncomp; c++ {
+			for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+				for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+					pd.Set(c, i, j, in[o])
+					o++
+				}
+			}
+		}
+	}
+}
+
+// AdvanceLevel implements ExplicitIntegratorPort.
+func (ei *ExplicitIntegrator) AdvanceLevel(mesh MeshPort, name string, level int, t0, t1 float64) error {
+	rhsPort := ei.port("patchRHS").(PatchRHSPort)
+	eigPort := ei.port("maxEigen").(SpectralRadiusPort)
+	d := mesh.Field(name)
+	gc, isGrace := meshAsGrace(mesh)
+	patches := d.LocalPatches(level)
+	dx, dy := mesh.Spacing(level)
+	lv := newLevelVector(patches, d.NComp)
+	dim := lv.dim()
+	comm := ei.svc.Comm()
+
+	// Scratch RHS patches, one per local patch.
+	rhsData := make([]*field.PatchData, len(patches))
+	for i, pd := range patches {
+		rhsData[i] = field.NewPatchData(pd.Patch, d.NComp, d.Ghost)
+	}
+
+	evals := 0
+	f := func(_ float64, y, ydot []float64) {
+		lv.scatter(y)
+		if isGrace {
+			gc.FillAllGhosts(name, level)
+		} else {
+			d.ExchangeGhosts(level)
+		}
+		o := 0
+		for i, pd := range patches {
+			rhsPort.EvalPatch(pd, rhsData[i], dx, dy)
+			b := pd.Interior()
+			for c := 0; c < d.NComp; c++ {
+				for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+					for ii := b.Lo[0]; ii <= b.Hi[0]; ii++ {
+						ydot[o] = rhsData[i].At(c, ii, j)
+						o++
+					}
+				}
+			}
+		}
+		evals++
+	}
+
+	// MaxEigen is allreduced inside the port, so the spectral radius —
+	// and therefore the stage count — is identical on every rank.
+	rho := func(_ float64, _ []float64) float64 {
+		return eigPort.MaxEigen(mesh, name)
+	}
+
+	dt := t1 - t0
+	opt := rkc.Options{
+		RelTol:      ei.svc.Parameters().GetFloat("rtol", 1e-5),
+		AbsTol:      ei.svc.Parameters().GetFloat("atol", 1e-8),
+		InitialStep: dt,
+		MaxStep:     dt,
+		MaxStages:   1024,
+	}
+	if comm != nil && comm.Size() > 1 {
+		// Combine the error norm across the cohort so every rank's
+		// controller takes identical accept/reject and step decisions —
+		// the collective ghost exchanges inside f then stay in lockstep.
+		opt.CombineNorm = func(sumSq, n float64) (float64, float64) {
+			out := comm.Allreduce(mpi.OpSum, []float64{sumSq, n})
+			return out[0], out[1]
+		}
+	}
+	s := rkc.New(dim, f, rho, opt)
+	y0 := make([]float64, dim)
+	lv.gather(y0)
+	s.Init(t0, y0)
+	if err := s.Integrate(t1); err != nil {
+		return fmt.Errorf("ExplicitIntegrator level %d: %w", level, err)
+	}
+	lv.scatter(s.Y())
+	if isGrace {
+		gc.FillAllGhosts(name, level)
+	} else {
+		d.ExchangeGhosts(level)
+	}
+	return nil
+}
+
+// meshAsGrace recovers the concrete GrACE component behind a MeshPort
+// when available (for the full ghost protocol).
+func meshAsGrace(mesh MeshPort) (*GrACEComponent, bool) {
+	gc, ok := mesh.(*GrACEComponent)
+	return gc, ok
+}

@@ -1,0 +1,112 @@
+package components
+
+import (
+	"math"
+
+	"ccahydro/internal/cca"
+)
+
+// InitialCondition initializes the reaction–diffusion field with hot
+// spots in a cold stoichiometric H2–air mixture (the paper's
+// three-hot-spot configuration). The field layout is [T, Y_0..Y_{n-1}].
+// Parameters:
+//
+//	Tcold   ambient temperature (default 300 K)
+//	Thot    hot-spot peak temperature (default 1800 K)
+//	radius  hot-spot radius as a fraction of the domain (default 0.06)
+//	nspots  number of hot spots (default 3, capped at 4)
+type InitialCondition struct {
+	svc cca.Services
+}
+
+// hotSpotCenters are fixed fractional positions (the paper's layout is
+// unspecified; these three are well separated).
+var hotSpotCenters = [4][2]float64{
+	{0.30, 0.30}, {0.70, 0.40}, {0.45, 0.72}, {0.75, 0.75},
+}
+
+// SetServices implements cca.Component.
+func (ic *InitialCondition) SetServices(svc cca.Services) error {
+	ic.svc = svc
+	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(ic, "ic", ICFieldPortType)
+}
+
+// Impose implements ICFieldPort: writes T and mass fractions over the
+// whole hierarchy (all levels, interiors and ghosts).
+func (ic *InitialCondition) Impose(mesh MeshPort, name string) {
+	p, err := ic.svc.GetPort("chemistry")
+	if err != nil {
+		panic(err)
+	}
+	ic.svc.ReleasePort("chemistry")
+	mech := p.(ChemistryPort).Mechanism()
+	Y := mech.StoichiometricH2Air()
+
+	params := ic.svc.Parameters()
+	tCold := params.GetFloat("Tcold", 300)
+	tHot := params.GetFloat("Thot", 1800)
+	radius := params.GetFloat("radius", 0.06)
+	nspots := params.GetInt("nspots", 3)
+	if nspots > len(hotSpotCenters) {
+		nspots = len(hotSpotCenters)
+	}
+
+	d := mesh.Field(name)
+	h := d.Hierarchy()
+	for l := 0; l < h.NumLevels(); l++ {
+		dx, dy := mesh.Spacing(l)
+		nx, _ := h.LevelDomain(l).Size()
+		lx := dx * float64(nx)
+		for _, pd := range d.LocalPatches(l) {
+			g := pd.GrownBox()
+			for j := g.Lo[1]; j <= g.Hi[1]; j++ {
+				for i := g.Lo[0]; i <= g.Hi[0]; i++ {
+					x := (float64(i) + 0.5) * dx
+					y := (float64(j) + 0.5) * dy
+					T := tCold
+					for s := 0; s < nspots; s++ {
+						cx := hotSpotCenters[s][0] * lx
+						cy := hotSpotCenters[s][1] * lx
+						r2 := (x-cx)*(x-cx) + (y-cy)*(y-cy)
+						sigma2 := (radius * lx) * (radius * lx)
+						T += (tHot - tCold) * math.Exp(-r2/(2*sigma2))
+					}
+					pd.Set(0, i, j, T)
+					for k, yk := range Y {
+						pd.Set(1+k, i, j, yk)
+					}
+				}
+			}
+		}
+	}
+}
+
+// GasProperties is the shock assembly's Database component: it holds
+// gamma and the Air/Freon shock-tube parameters as key-value pairs.
+// One instance lives per rank framework, so no locking is needed.
+type GasProperties struct {
+	db map[string]float64
+}
+
+// SetServices implements cca.Component. Parameters prefixed "prop_"
+// are loaded into the database.
+func (gp *GasProperties) SetServices(svc cca.Services) error {
+	gp.db = map[string]float64{
+		"gamma":        svc.Parameters().GetFloat("gamma", 1.4),
+		"densityRatio": svc.Parameters().GetFloat("densityRatio", 3.0),
+		"mach":         svc.Parameters().GetFloat("mach", 1.5),
+	}
+	return svc.AddProvidesPort(gp, "properties", KeyValuePortType)
+}
+
+// SetValue implements KeyValuePort.
+func (gp *GasProperties) SetValue(key string, v float64) { gp.db[key] = v }
+
+// Value implements KeyValuePort.
+func (gp *GasProperties) Value(key string) (float64, bool) {
+	v, ok := gp.db[key]
+	return v, ok
+}

@@ -1,0 +1,103 @@
+package components
+
+import (
+	"fmt"
+
+	"ccahydro/internal/cca"
+)
+
+// IgnitionDriver orchestrates the 0D ignition run (paper Sec. 4.1,
+// Fig 1): fetch the initial state, hand the state vector to the
+// implicit integration subsystem in output segments, and record the
+// temperature/pressure trajectory plus the ignition delay (time of
+// peak dT/dt). Parameters: "tEnd" (s, default 1e-3, the paper's 1 ms)
+// and "nOut" (trajectory samples, default 50).
+type IgnitionDriver struct {
+	svc cca.Services
+
+	// Results, readable after Go.
+	Times, Temps, Pressures []float64
+	IgnitionDelay           float64
+	FinalY                  []float64
+}
+
+// SetServices implements cca.Component.
+func (dr *IgnitionDriver) SetServices(svc cca.Services) error {
+	dr.svc = svc
+	for _, u := range [][2]string{
+		{"ic", ICStatePortType},
+		{"integrator", ImplicitIntegratorType},
+		{"chemistry", ChemistryPortType},
+		{"stats", StatsPortType},
+	} {
+		if err := svc.RegisterUsesPort(u[0], u[1]); err != nil {
+			return err
+		}
+	}
+	return svc.AddProvidesPort(cca.GoPort(goFunc(dr.run)), "go", cca.GoPortType)
+}
+
+// goFunc adapts a function to cca.GoPort.
+type goFunc func() error
+
+func (g goFunc) Go() error { return g() }
+
+func (dr *IgnitionDriver) port(name string) cca.Port {
+	p, err := dr.svc.GetPort(name)
+	if err != nil {
+		panic(fmt.Sprintf("IgnitionDriver: %v", err))
+	}
+	dr.svc.ReleasePort(name)
+	return p
+}
+
+func (dr *IgnitionDriver) run() error {
+	tEnd := dr.svc.Parameters().GetFloat("tEnd", 1e-3)
+	nOut := dr.svc.Parameters().GetInt("nOut", 50)
+	if nOut < 1 {
+		nOut = 1
+	}
+	icPort := dr.port("ic").(ICStatePort)
+	integ := dr.port("integrator").(ImplicitIntegratorPort)
+	chemPort := dr.port("chemistry").(ChemistryPort)
+	stats := dr.port("stats").(StatsPort)
+
+	T0, P0, Y0 := icPort.InitialState()
+	n := chemPort.Mechanism().NumSpecies()
+	y := make([]float64, n+2)
+	y[0] = T0
+	copy(y[1:1+n], Y0)
+	y[1+n] = P0
+
+	dr.Times = []float64{0}
+	dr.Temps = []float64{T0}
+	dr.Pressures = []float64{P0}
+	stats.Record("T", T0)
+	stats.Record("P", P0)
+
+	var prevT, prevTime float64 = T0, 0
+	maxRate, tIgn := 0.0, 0.0
+	t := 0.0
+	dt := tEnd / float64(nOut)
+	for k := 1; k <= nOut; k++ {
+		t1 := dt * float64(k)
+		if _, err := integ.IntegrateTo(t, t1, y); err != nil {
+			return fmt.Errorf("ignition driver at t=%v: %w", t, err)
+		}
+		t = t1
+		dr.Times = append(dr.Times, t)
+		dr.Temps = append(dr.Temps, y[0])
+		dr.Pressures = append(dr.Pressures, y[1+n])
+		stats.Record("T", y[0])
+		stats.Record("P", y[1+n])
+		if rate := (y[0] - prevT) / (t - prevTime); rate > maxRate {
+			maxRate = rate
+			tIgn = 0.5 * (t + prevTime)
+		}
+		prevT, prevTime = y[0], t
+	}
+	dr.IgnitionDelay = tIgn
+	dr.FinalY = append([]float64(nil), y...)
+	stats.Record("ignitionDelay", tIgn)
+	return nil
+}

@@ -1,0 +1,109 @@
+package components
+
+import (
+	"fmt"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/chem"
+)
+
+// ImplicitIntegrator is the adaptor that "calls on the Implicit
+// Integration subsystem for all cells and all patches" (paper Sec.
+// 4.2): for every cell of the named field on a level, it packs the
+// cell state [T, Y...] into a vector, advances it through the
+// connected implicit integrator (CvodeComponent) against the
+// constant-pressure chemistry RHS, and writes the result back.
+// Parameter "P" is the open-domain pressure (default 1 atm).
+type ImplicitIntegrator struct {
+	svc  cca.Services
+	p0   float64
+	chem ChemistryPort
+
+	// rhs context for the current cell integration.
+	nsp int
+}
+
+// SetServices implements cca.Component.
+func (ii *ImplicitIntegrator) SetServices(svc cca.Services) error {
+	ii.svc = svc
+	ii.p0 = svc.Parameters().GetFloat("P", chem.PAtm)
+	if err := svc.RegisterUsesPort("integrator", ImplicitIntegratorType); err != nil {
+		return err
+	}
+	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	// The adaptor also provides the RHS the CvodeComponent consumes:
+	// the wiring loops CvodeComponent.rhs -> ImplicitIntegrator.cellRHS.
+	if err := svc.AddProvidesPort(cellRHS{ii}, "cellRHS", RHSPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(ii, "cellChemistry", CellChemistryPortType)
+}
+
+func (ii *ImplicitIntegrator) chemistry() ChemistryPort {
+	if ii.chem == nil {
+		p, err := ii.svc.GetPort("chemistry")
+		if err != nil {
+			panic(err)
+		}
+		ii.chem = p.(ChemistryPort)
+	}
+	return ii.chem
+}
+
+// cellRHS is the constant-pressure chemistry RHS over y = [T, Y...].
+type cellRHS struct{ ii *ImplicitIntegrator }
+
+// Dim implements RHSPort.
+func (cr cellRHS) Dim() int {
+	return cr.ii.chemistry().Mechanism().NumSpecies() + 1
+}
+
+// Eval implements RHSPort.
+func (cr cellRHS) Eval(_ float64, y, ydot []float64) {
+	chemPort := cr.ii.chemistry()
+	n := chemPort.Mechanism().NumSpecies()
+	T := y[0]
+	if T < 200 {
+		T = 200
+	}
+	ydot[0] = chemPort.ConstPressure(T, cr.ii.p0, y[1:1+n], ydot[1:1+n])
+}
+
+// AdvanceChemistry implements CellChemistryPort.
+func (ii *ImplicitIntegrator) AdvanceChemistry(mesh MeshPort, name string, level int, dt float64) (int, error) {
+	ip, err := ii.svc.GetPort("integrator")
+	if err != nil {
+		return 0, err
+	}
+	ii.svc.ReleasePort("integrator")
+	integ := ip.(ImplicitIntegratorPort)
+	mech := ii.chemistry().Mechanism()
+	nsp := mech.NumSpecies()
+	ii.nsp = nsp
+	d := mesh.Field(name)
+	y := make([]float64, nsp+1)
+	cells := 0
+	for _, pd := range d.LocalPatches(level) {
+		b := pd.Interior()
+		for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+			for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+				y[0] = pd.At(0, i, j)
+				for k := 0; k < nsp; k++ {
+					y[1+k] = pd.At(1+k, i, j)
+				}
+				chem.NormalizeY(y[1 : 1+nsp])
+				if _, err := integ.IntegrateTo(0, dt, y); err != nil {
+					return cells, fmt.Errorf("cell (%d,%d) level %d: %w", i, j, level, err)
+				}
+				pd.Set(0, i, j, y[0])
+				for k := 0; k < nsp; k++ {
+					pd.Set(1+k, i, j, y[1+k])
+				}
+				cells++
+			}
+		}
+	}
+	return cells, nil
+}

@@ -1,0 +1,210 @@
+// Package components implements the paper's CCA components: the
+// GrACEComponent mesh/data manager, the chemistry and transport
+// wrappers (ThermoChemistry, DRFMComponent), the integrators
+// (CvodeComponent, ExplicitIntegrator, ExplicitIntegratorRK2), the
+// per-problem adaptors (problemModeler, dPdt, ImplicitIntegrator,
+// InviscidFlux), initial and boundary condition components, and the
+// drivers that assemble the 0D ignition, 2D reaction–diffusion, and
+// 2D shock–interface applications.
+//
+// Port interfaces are defined here; their type strings follow the
+// paper's taxonomy in Sec. 4 (MeshPort and friends).
+package components
+
+import (
+	"ccahydro/internal/amr"
+	"ccahydro/internal/chem"
+	"ccahydro/internal/cvode"
+	"ccahydro/internal/euler"
+	"ccahydro/internal/field"
+)
+
+// Port type strings. Connections require exact matches.
+const (
+	MeshPortType            = "samr.MeshPort"
+	DataPortType            = "samr.DataObjectPort"
+	BCPortType              = "samr.BoundaryConditionPort"
+	ICFieldPortType         = "samr.InitialConditionPort"
+	RegridPortType          = "samr.RegridPort"
+	StatsPortType           = "util.StatisticsPort"
+	KeyValuePortType        = "db.KeyValuePort"
+	RHSPortType             = "ode.RHSPort"
+	ImplicitIntegratorType  = "ode.ImplicitIntegratorPort"
+	SpectralRadiusPortType  = "ode.SpectralRadiusPort"
+	ChemistryPortType       = "chem.SourceTermPort"
+	DPDtPortType            = "chem.DPDtPort"
+	ICStatePortType         = "chem.InitialStatePort"
+	TransportPortType       = "transport.PropertiesPort"
+	PatchRHSPortType        = "samr.PatchRHSPort"
+	ExplicitIntegratorType  = "samr.ExplicitIntegratorPort"
+	CellChemistryPortType   = "samr.CellChemistryPort"
+	FluxPortType            = "hydro.FluxPort"
+	StatesPortType          = "hydro.StatesPort"
+	CharacteristicsPortType = "hydro.CharacteristicsPort"
+	ProlongRestrictPortType = "samr.ProlongRestrictPort"
+)
+
+// MeshPort is the paper's type (a) port: geometric manipulation of the
+// domain, declaration of fields, and domain-decomposition queries. The
+// GrACEComponent provides it.
+type MeshPort interface {
+	Hierarchy() *amr.Hierarchy
+	// Declare creates (or returns the existing) named DataObject with
+	// the given shape over the current hierarchy.
+	Declare(name string, ncomp, ghost int) *field.DataObject
+	// Field returns a declared DataObject, or nil.
+	Field(name string) *field.DataObject
+	// Regrid rebuilds the hierarchy from flags and remaps every
+	// declared field onto it.
+	Regrid(flags []*amr.FlagField, opt amr.RegridOptions)
+	// Spacing returns the physical mesh spacing on a level.
+	Spacing(level int) (dx, dy float64)
+}
+
+// DataPort is the abstract Data Object interface (paper type (b)):
+// movement/copying of data between patches, packing/unpacking around
+// message passing.
+type DataPort interface {
+	ExchangeGhosts(name string, level int)
+	FillCoarseFineGhosts(name string, level int)
+	Restrict(name string, level int)
+	ProlongNewLevel(name string, level int)
+}
+
+// BCPort applies physical boundary conditions patch by patch.
+type BCPort interface {
+	Apply(name string, level int)
+}
+
+// ICFieldPort imposes an initial condition on a declared field.
+type ICFieldPort interface {
+	Impose(mesh MeshPort, name string)
+}
+
+// RegridPort estimates errors and triggers hierarchy rebuilds.
+type RegridPort interface {
+	// EstimateAndRegrid flags high-gradient regions of the named field
+	// and regrids; returns true if the hierarchy changed.
+	EstimateAndRegrid(mesh MeshPort, name string) bool
+}
+
+// StatsPort collects scalar diagnostics (the paper's
+// StatisticsComponent).
+type StatsPort interface {
+	Record(key string, value float64)
+	Get(key string) []float64
+	Keys() []string
+}
+
+// KeyValuePort is the Database subsystem: key-value pairs mapping
+// property names to numbers.
+type KeyValuePort interface {
+	SetValue(key string, v float64)
+	Value(key string) (float64, bool)
+}
+
+// RHSPort evaluates an ODE right-hand side over a state vector (paper
+// type (e): ports that accept vectors).
+type RHSPort interface {
+	Dim() int
+	Eval(t float64, y, ydot []float64)
+}
+
+// ImplicitIntegratorPort advances a vector of variables (the paper's
+// Implicit Integration subsystem). The integrator pulls its RHS from
+// its connected RHSPort.
+type ImplicitIntegratorPort interface {
+	// IntegrateTo advances y in place from t0 to t1 and reports solver
+	// statistics.
+	IntegrateTo(t0, t1 float64, y []float64) (cvode.Stats, error)
+}
+
+// SpectralRadiusPort bounds the dominant eigenvalue of a patch operator
+// so the explicit integrator can size its stable step (the paper's
+// MaxDiffCoeffEvaluator).
+type SpectralRadiusPort interface {
+	// MaxEigen returns an upper bound on the spectral radius of the
+	// explicit operator over the whole hierarchy.
+	MaxEigen(mesh MeshPort, name string) float64
+}
+
+// ChemistryPort exposes chemical source terms and the mechanism — the
+// ThermoChemistry component's main port.
+type ChemistryPort interface {
+	Mechanism() *chem.Mechanism
+	// ConstPressure fills dY and returns dT/dt at fixed pressure.
+	ConstPressure(T, P float64, Y, dY []float64) float64
+	// ConstVolume fills dY and returns dT/dt at fixed density.
+	ConstVolume(T, rho float64, Y, dY []float64) float64
+}
+
+// DPDtPort computes the rigid-vessel pressure derivative (the paper's
+// dPdt component).
+type DPDtPort interface {
+	DPDt(rho, T, dTdt float64, Y, dYdt []float64) float64
+}
+
+// ICStatePort supplies the 0D initial state (the paper's Initializer).
+type ICStatePort interface {
+	InitialState() (T, P float64, Y []float64)
+}
+
+// TransportPort evaluates transport properties (the DRFMComponent).
+type TransportPort interface {
+	// Properties fills D (mixture-averaged diffusivities) and returns
+	// conductivity and density at (T, P, Y). X is caller scratch.
+	Properties(T, P float64, Y, X, D []float64) (lambda, rho float64)
+	// MaxDiffusivity returns an upper bound on max(D_i, alpha) at the
+	// state, for stability control.
+	MaxDiffusivity(T, P float64, Y []float64) float64
+}
+
+// PatchRHSPort evaluates a PDE right-hand side one patch at a time
+// (paper type (d): ports that accept an array from a patch).
+type PatchRHSPort interface {
+	// EvalPatch writes dPhi/dt into out over the interior of pd.
+	EvalPatch(pd, out *field.PatchData, dx, dy float64)
+}
+
+// ExplicitIntegratorPort advances a set of Data Objects over a time
+// step (paper type (c): ports that accept arrays of Data Objects and
+// act on them in a synchronized manner).
+type ExplicitIntegratorPort interface {
+	// AdvanceLevel advances the named field on a level from t0 to t1.
+	AdvanceLevel(mesh MeshPort, name string, level int, t0, t1 float64) error
+}
+
+// CellChemistryPort advances the stiff chemistry in every cell of every
+// patch (the paper's ImplicitIntegrator adaptor, which "calls on the
+// Implicit Integration subsystem for all cells and all patches").
+type CellChemistryPort interface {
+	AdvanceChemistry(mesh MeshPort, name string, level int, dt float64) (cells int, err error)
+}
+
+// FluxPort computes an interface flux from reconstructed left/right
+// states — the seam where GodunovFlux and EFMFlux interchange.
+type FluxPort interface {
+	Flux(g euler.Gas, l, r euler.Primitive) euler.Conserved
+}
+
+// StatesPort reconstructs limited left/right states (the paper's
+// States component).
+type StatesPort interface {
+	// Pair returns the face states between cells (i-1,j)-(i,j) (dir 0)
+	// or (i,j-1)-(i,j) (dir 1).
+	Pair(g euler.Gas, pd *field.PatchData, i, j, dir int) (euler.Primitive, euler.Primitive)
+}
+
+// CharacteristicsPort reports characteristic speeds for time-step
+// control (the paper's CharacteristicQuantities component).
+type CharacteristicsPort interface {
+	StableDt(mesh MeshPort, name string, level int) float64
+}
+
+// ProlongRestrictPort performs the cell-centered interpolations between
+// levels (the paper's ProlongRestrict component).
+type ProlongRestrictPort interface {
+	Prolong(mesh MeshPort, name string, level int)
+	Restrict(mesh MeshPort, name string, level int)
+	FillCoarseFine(mesh MeshPort, name string, level int)
+}

@@ -1,0 +1,206 @@
+package components
+
+import (
+	"fmt"
+	"time"
+
+	"ccahydro/internal/cca"
+)
+
+// RDDriver assembles the operator-split time loop of the 2D
+// reaction–diffusion flame (paper Sec. 4.2): stiff chemistry integrated
+// implicitly cell by cell, diffusion integrated explicitly with RKC,
+// with optional SAMR regridding between steps. Parameters:
+//
+//	dt           macro time step in seconds (default 1e-7, the paper's
+//	             scaling-run step)
+//	steps        number of macro steps (default 5, as in the paper)
+//	regridEvery  regrid period in steps; 0 disables adaptivity (the
+//	             paper's scaling runs turn adaptivity off)
+//	splitting    "lie" (chemistry then diffusion) or "strang" (half
+//	             chemistry, diffusion, half chemistry); default lie
+//	field        data object name (default "phi")
+//	skipChem     when true the chemistry half is skipped (diffusion-only
+//	             runs for scaling studies)
+type RDDriver struct {
+	svc cca.Services
+
+	// Results, readable after Go.
+	StepSeconds  []float64
+	CellsPerStep []int
+	TMax, TMin   float64
+}
+
+// SetServices implements cca.Component.
+func (dr *RDDriver) SetServices(svc cca.Services) error {
+	dr.svc = svc
+	for _, u := range [][2]string{
+		{"mesh", MeshPortType},
+		{"ic", ICFieldPortType},
+		{"explicit", ExplicitIntegratorType},
+		{"cellChemistry", CellChemistryPortType},
+		{"regrid", RegridPortType},
+		{"stats", StatsPortType},
+		{"chemistry", ChemistryPortType},
+	} {
+		if err := svc.RegisterUsesPort(u[0], u[1]); err != nil {
+			return err
+		}
+	}
+	return svc.AddProvidesPort(cca.GoPort(goFunc(dr.run)), "go", cca.GoPortType)
+}
+
+func (dr *RDDriver) port(name string) cca.Port {
+	p, err := dr.svc.GetPort(name)
+	if err != nil {
+		panic(fmt.Sprintf("RDDriver: %v", err))
+	}
+	dr.svc.ReleasePort(name)
+	return p
+}
+
+// optionalPort returns nil when the uses port is unconnected (regrid
+// and stats are optional in reduced assemblies).
+func (dr *RDDriver) optionalPort(name string) cca.Port {
+	p, err := dr.svc.GetPort(name)
+	if err != nil {
+		return nil
+	}
+	dr.svc.ReleasePort(name)
+	return p
+}
+
+func (dr *RDDriver) run() error {
+	params := dr.svc.Parameters()
+	dt := params.GetFloat("dt", 1e-7)
+	steps := params.GetInt("steps", 5)
+	regridEvery := params.GetInt("regridEvery", 0)
+	splitting := params.GetString("splitting", "lie")
+	name := params.GetString("field", "phi")
+	skipChem := params.GetBool("skipChem", false)
+
+	mesh := dr.port("mesh").(MeshPort)
+	icPort := dr.port("ic").(ICFieldPort)
+	expl := dr.port("explicit").(ExplicitIntegratorPort)
+	chemPort := dr.port("chemistry").(ChemistryPort)
+	var cellChem CellChemistryPort
+	if p := dr.optionalPort("cellChemistry"); p != nil {
+		cellChem = p.(CellChemistryPort)
+	}
+	var regrid RegridPort
+	if p := dr.optionalPort("regrid"); p != nil {
+		regrid = p.(RegridPort)
+	}
+	var stats StatsPort
+	if p := dr.optionalPort("stats"); p != nil {
+		stats = p.(StatsPort)
+	}
+
+	nsp := chemPort.Mechanism().NumSpecies()
+	fresh := mesh.Field(name) == nil
+	mesh.Declare(name, 1+nsp, 2)
+	if fresh {
+		// First Go on this framework: impose the IC and establish the
+		// initial hierarchy (alternate flagging and re-imposing so fine
+		// levels start from exact data). Subsequent Go calls continue
+		// the run from the current field, so a driver can be fired
+		// repeatedly to produce time-series frames (Fig 3).
+		icPort.Impose(mesh, name)
+		if regrid != nil && regridEvery > 0 {
+			for pass := 0; pass < mesh.Hierarchy().MaxLevels-1; pass++ {
+				if !regrid.EstimateAndRegrid(mesh, name) {
+					break
+				}
+				icPort.Impose(mesh, name)
+			}
+		}
+	}
+
+	chemStep := func(frac float64) error {
+		if skipChem || cellChem == nil {
+			return nil
+		}
+		h := mesh.Hierarchy()
+		for l := 0; l < h.NumLevels(); l++ {
+			if _, err := cellChem.AdvanceChemistry(mesh, name, l, dt*frac); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	diffStep := func(t0, t1 float64) error {
+		h := mesh.Hierarchy()
+		for l := 0; l < h.NumLevels(); l++ {
+			if err := expl.AdvanceLevel(mesh, name, l, t0, t1); err != nil {
+				return err
+			}
+		}
+		// Make coarse data consistent with fine (restriction).
+		d := mesh.Field(name)
+		for l := h.NumLevels() - 1; l >= 1; l-- {
+			d.RestrictLevel(l)
+		}
+		return nil
+	}
+
+	t := 0.0
+	for step := 0; step < steps; step++ {
+		start := time.Now()
+		switch splitting {
+		case "strang":
+			if err := chemStep(0.5); err != nil {
+				return err
+			}
+			if err := diffStep(t, t+dt); err != nil {
+				return err
+			}
+			if err := chemStep(0.5); err != nil {
+				return err
+			}
+		default: // lie
+			if err := chemStep(1.0); err != nil {
+				return err
+			}
+			if err := diffStep(t, t+dt); err != nil {
+				return err
+			}
+		}
+		t += dt
+		elapsed := time.Since(start).Seconds()
+		dr.StepSeconds = append(dr.StepSeconds, elapsed)
+		dr.CellsPerStep = append(dr.CellsPerStep, mesh.Hierarchy().TotalCells())
+		if stats != nil {
+			stats.Record("stepSeconds", elapsed)
+			stats.Record("cells", float64(mesh.Hierarchy().TotalCells()))
+		}
+		if regrid != nil && regridEvery > 0 && (step+1)%regridEvery == 0 {
+			regrid.EstimateAndRegrid(mesh, name)
+		}
+	}
+
+	// Final temperature extrema (rank-local; experiments reduce them).
+	d := mesh.Field(name)
+	dr.TMax, dr.TMin = -1e300, 1e300
+	h := mesh.Hierarchy()
+	for l := 0; l < h.NumLevels(); l++ {
+		for _, pd := range d.LocalPatches(l) {
+			b := pd.Interior()
+			for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+				for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+					v := pd.At(0, i, j)
+					if v > dr.TMax {
+						dr.TMax = v
+					}
+					if v < dr.TMin {
+						dr.TMin = v
+					}
+				}
+			}
+		}
+	}
+	if stats != nil {
+		stats.Record("Tmax", dr.TMax)
+		stats.Record("Tmin", dr.TMin)
+	}
+	return nil
+}

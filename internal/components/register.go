@@ -1,0 +1,48 @@
+package components
+
+import "ccahydro/internal/cca"
+
+// RegisterAll adds every component class to a repository under the
+// names the paper's assemblies use. It is the Go substitute for the
+// palette of shared-object components Ccaffeine would dlopen.
+func RegisterAll(repo *cca.Repository) {
+	repo.Register("ThermoChemistry", func() cca.Component { return &ThermoChemistry{} })
+	repo.Register("DPDt", func() cca.Component { return &DPDt{} })
+	repo.Register("ProblemModeler", func() cca.Component { return &ProblemModeler{} })
+	repo.Register("Initializer", func() cca.Component { return &Initializer{} })
+	repo.Register("CvodeComponent", func() cca.Component { return &CvodeComponent{} })
+	repo.Register("StatisticsComponent", func() cca.Component { return &StatisticsComponent{} })
+	repo.Register("IgnitionDriver", func() cca.Component { return &IgnitionDriver{} })
+	repo.Register("GrACEComponent", func() cca.Component { return &GrACEComponent{} })
+	repo.Register("InitialCondition", func() cca.Component { return &InitialCondition{} })
+	repo.Register("DRFMComponent", func() cca.Component { return &DRFMComponent{} })
+	repo.Register("DiffusionPhysics", func() cca.Component { return &DiffusionPhysics{} })
+	repo.Register("MaxDiffCoeffEvaluator", func() cca.Component { return &MaxDiffCoeffEvaluator{} })
+	repo.Register("ExplicitIntegrator", func() cca.Component { return &ExplicitIntegrator{} })
+	repo.Register("ImplicitIntegrator", func() cca.Component { return &ImplicitIntegrator{} })
+	repo.Register("ErrorEstAndRegrid", func() cca.Component { return &ErrorEstAndRegrid{} })
+	repo.Register("RDDriver", func() cca.Component { return &RDDriver{} })
+	repo.Register("ConicalInterfaceIC", func() cca.Component { return &ConicalInterfaceIC{} })
+	repo.Register("States", func() cca.Component { return &States{} })
+	repo.Register("GodunovFlux", func() cca.Component { return &GodunovFluxComp{} })
+	repo.Register("EFMFlux", func() cca.Component { return &EFMFluxComp{} })
+	repo.Register("HLLCFlux", func() cca.Component { return &HLLCFluxComp{} })
+	repo.Register("InviscidFlux", func() cca.Component { return &InviscidFlux{} })
+	repo.Register("CharacteristicQuantities", func() cca.Component { return &CharacteristicQuantities{} })
+	repo.Register("ExplicitIntegratorRK2", func() cca.Component { return &ExplicitIntegratorRK2{} })
+	repo.Register("BoundaryConditions", func() cca.Component { return &BoundaryConditions{} })
+	repo.Register("GasProperties", func() cca.Component { return &GasProperties{} })
+	repo.Register("ProlongRestrict", func() cca.Component { return &ProlongRestrict{} })
+	repo.Register("ShockDriver", func() cca.Component { return &ShockDriver{} })
+	repo.Register("TauTimer", func() cca.Component { return &TauTimer{} })
+	repo.Register("RHSMonitor", func() cca.Component { return &RHSMonitor{} })
+	repo.Register("PatchRHSMonitor", func() cca.Component { return &PatchRHSMonitor{} })
+	repo.Register("BalancerComponent", func() cca.Component { return &BalancerComponent{} })
+}
+
+// NewRepository returns a repository with every component registered.
+func NewRepository() *cca.Repository {
+	repo := cca.NewRepository()
+	RegisterAll(repo)
+	return repo
+}

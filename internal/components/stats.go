@@ -1,0 +1,48 @@
+package components
+
+import (
+	"sort"
+	"sync"
+
+	"ccahydro/internal/cca"
+)
+
+// StatisticsComponent collects named scalar time series — the paper's
+// StatisticsComponent, reused by the flame and shock assemblies for
+// diagnostics output.
+type StatisticsComponent struct {
+	mu     sync.Mutex
+	series map[string][]float64
+}
+
+// SetServices implements cca.Component.
+func (sc *StatisticsComponent) SetServices(svc cca.Services) error {
+	sc.series = make(map[string][]float64)
+	return svc.AddProvidesPort(sc, "stats", StatsPortType)
+}
+
+// Record implements StatsPort.
+func (sc *StatisticsComponent) Record(key string, value float64) {
+	sc.mu.Lock()
+	sc.series[key] = append(sc.series[key], value)
+	sc.mu.Unlock()
+}
+
+// Get implements StatsPort.
+func (sc *StatisticsComponent) Get(key string) []float64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return append([]float64(nil), sc.series[key]...)
+}
+
+// Keys implements StatsPort.
+func (sc *StatisticsComponent) Keys() []string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make([]string, 0, len(sc.series))
+	for k := range sc.series {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,177 @@
+package components
+
+import (
+	"strings"
+	"testing"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/cca"
+	"ccahydro/internal/field"
+)
+
+func TestTauTimerSummary(t *testing.T) {
+	f := harness(t, func(f *cca.Framework) {
+		mustDo(t, f.Instantiate("TauTimer", "tau"))
+	})
+	comp, _ := f.Lookup("tau")
+	tt := comp.(*TauTimer)
+	tt.Record("slow", 2)
+	tt.Record("slow", 1)
+	tt.Record("fast", 0.1)
+	tt.Time("timed", func() {})
+	sum := tt.Summary()
+	if len(sum) != 3 {
+		t.Fatalf("entries = %d", len(sum))
+	}
+	if sum[0].Name != "slow" || sum[0].Calls != 2 || sum[0].Seconds != 3 {
+		t.Errorf("top entry = %+v", sum[0])
+	}
+	var b strings.Builder
+	tt.WriteReport(&b)
+	if !strings.Contains(b.String(), "slow") || !strings.Contains(b.String(), "timed") {
+		t.Errorf("report missing timers:\n%s", b.String())
+	}
+}
+
+// TestRHSMonitorSplicesInto0D rebuilds the ignition assembly with the
+// TAU proxy spliced into the cvode.rhs wire and checks (a) the physics
+// is unchanged and (b) every RHS invocation was measured — the paper's
+// future-work instrumentation plan, executed.
+func TestRHSMonitorSplicesInto0D(t *testing.T) {
+	repo := NewRepository()
+	f := cca.NewFramework(repo, nil)
+	mustDo(t, f.SetParameter("driver", "tEnd", "1e-4"))
+	mustDo(t, f.SetParameter("driver", "nOut", "4"))
+	for _, inst := range [][2]string{
+		{"ThermoChemistry", "chem"}, {"DPDt", "dpdt"}, {"ProblemModeler", "model"},
+		{"Initializer", "init"}, {"CvodeComponent", "cvode"},
+		{"StatisticsComponent", "stats"}, {"IgnitionDriver", "driver"},
+		{"TauTimer", "tau"}, {"RHSMonitor", "monitor"},
+	} {
+		mustDo(t, f.Instantiate(inst[0], inst[1]))
+	}
+	wires := [][4]string{
+		{"dpdt", "chemistry", "chem", "chemistry"},
+		{"model", "chemistry", "chem", "chemistry"},
+		{"model", "dpdt", "dpdt", "dpdt"},
+		{"init", "chemistry", "chem", "chemistry"},
+		// The splice: cvode -> monitor -> model.
+		{"monitor", "inner", "model", "rhs"},
+		{"monitor", "timing", "tau", "timing"},
+		{"cvode", "rhs", "monitor", "rhs"},
+		{"driver", "ic", "init", "ic"},
+		{"driver", "integrator", "cvode", "integrator"},
+		{"driver", "chemistry", "chem", "chemistry"},
+		{"driver", "stats", "stats", "stats"},
+	}
+	for _, w := range wires {
+		mustDo(t, f.Connect(w[0], w[1], w[2], w[3]))
+	}
+	mustDo(t, f.Go("driver", "go"))
+
+	comp, _ := f.Lookup("tau")
+	sum := comp.(*TauTimer).Summary()
+	if len(sum) != 1 || sum[0].Name != "monitor" {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if sum[0].Calls < 20 {
+		t.Errorf("calls = %d, expected many RHS invocations", sum[0].Calls)
+	}
+	// Physics unchanged vs the unmonitored assembly.
+	drComp, _ := f.Lookup("driver")
+	dr := drComp.(*IgnitionDriver)
+	if dr.Temps[len(dr.Temps)-1] < 999 {
+		t.Errorf("monitored run produced bad physics: %v", dr.Temps)
+	}
+}
+
+func TestPatchRHSMonitor(t *testing.T) {
+	repo := NewRepository()
+	f := cca.NewFramework(repo, nil)
+	for _, inst := range [][2]string{
+		{"ThermoChemistry", "chem"}, {"DRFMComponent", "drfm"},
+		{"DiffusionPhysics", "diffusion"}, {"TauTimer", "tau"},
+		{"PatchRHSMonitor", "monitor"},
+	} {
+		mustDo(t, f.Instantiate(inst[0], inst[1]))
+	}
+	mustDo(t, f.Connect("diffusion", "transport", "drfm", "transport"))
+	mustDo(t, f.Connect("diffusion", "chemistry", "chem", "chemistry"))
+	mustDo(t, f.Connect("monitor", "inner", "diffusion", "patchRHS"))
+	mustDo(t, f.Connect("monitor", "timing", "tau", "timing"))
+
+	monComp, _ := f.Lookup("monitor")
+	mon := monComp.(*PatchRHSMonitor)
+	h := amr.NewHierarchy(amr.NewBox(0, 0, 7, 7), 2, 1, 1)
+	chemComp, _ := f.Lookup("chem")
+	nsp := chemComp.(*ThermoChemistry).Mechanism().NumSpecies()
+	d := field.New("phi", h, 1+nsp, 2, nil)
+	pd := d.LocalPatches(0)[0]
+	Y := chemComp.(*ThermoChemistry).Mechanism().StoichiometricH2Air()
+	g := pd.GrownBox()
+	for j := g.Lo[1]; j <= g.Hi[1]; j++ {
+		for i := g.Lo[0]; i <= g.Hi[0]; i++ {
+			pd.Set(0, i, j, 400)
+			for k, yk := range Y {
+				pd.Set(1+k, i, j, yk)
+			}
+		}
+	}
+	out := field.NewPatchData(pd.Patch, 1+nsp, 2)
+	mon.EvalPatch(pd, out, 1e-4, 1e-4)
+	mon.EvalPatch(pd, out, 1e-4, 1e-4)
+	tauComp, _ := f.Lookup("tau")
+	sum := tauComp.(*TauTimer).Summary()
+	if len(sum) != 1 || sum[0].Calls != 2 {
+		t.Errorf("summary = %+v", sum)
+	}
+}
+
+func TestBalancerComponentPolicies(t *testing.T) {
+	for _, policy := range []string{"greedy", "sfc", "unknown"} {
+		f := cca.NewFramework(NewRepository(), nil)
+		mustDo(t, f.SetParameter("bal", "policy", policy))
+		mustDo(t, f.Instantiate("BalancerComponent", "bal"))
+		comp, _ := f.Lookup("bal")
+		bc := comp.(*BalancerComponent)
+		want := policy
+		if policy == "unknown" {
+			want = "greedy"
+		}
+		if bc.PolicyName() != want {
+			t.Errorf("policy %q resolved to %q", policy, bc.PolicyName())
+		}
+		boxes := []amr.Box{amr.NewBox(0, 0, 7, 7), amr.NewBox(8, 0, 15, 7)}
+		owners := bc.Assign(boxes, 0, 2, nil)
+		if len(owners) != 2 {
+			t.Errorf("owners = %v", owners)
+		}
+	}
+}
+
+// TestGrACEUsesWiredBalancer checks the future-work wiring: a mesh
+// regrid consults the connected balancer component.
+func TestGrACEUsesWiredBalancer(t *testing.T) {
+	f := harness(t, func(f *cca.Framework) {
+		mustDo(t, f.SetParameter("grace", "nx", "32"))
+		mustDo(t, f.SetParameter("grace", "ny", "32"))
+		mustDo(t, f.SetParameter("grace", "maxLevels", "2"))
+		mustDo(t, f.SetParameter("bal", "policy", "sfc"))
+		mustDo(t, f.Instantiate("GrACEComponent", "grace"))
+		mustDo(t, f.Instantiate("BalancerComponent", "bal"))
+		mustDo(t, f.Connect("grace", "balancer", "bal", "balancer"))
+	})
+	comp, _ := f.Lookup("grace")
+	gc := comp.(*GrACEComponent)
+	gc.Declare("phi", 1, 2)
+	flags := amr.NewFlagField(gc.Hierarchy().LevelDomain(0))
+	flags.SetBox(amr.NewBox(4, 4, 27, 27))
+	gc.Regrid([]*amr.FlagField{flags}, amr.RegridOptions{})
+	h := gc.Hierarchy()
+	if h.NumLevels() != 2 {
+		t.Fatalf("levels = %d", h.NumLevels())
+	}
+	if _, ok := h.Balancer.(BalancerPort); !ok {
+		t.Errorf("hierarchy balancer = %T, want the wired component", h.Balancer)
+	}
+}

@@ -1,0 +1,210 @@
+package components
+
+import (
+	"fmt"
+	"sync"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/chem"
+)
+
+// ThermoChemistry embodies the chemical interactions: it provides the
+// source terms for temperature and species due to chemistry, and also
+// serves as the Database subsystem holding gas properties (the paper
+// wraps pre-existing F77 chemistry the same way). The mechanism is
+// selected by the "mech" parameter ("h2air" or "h2air-lite").
+type ThermoChemistry struct {
+	mech *chem.Mechanism
+	ws   *chem.SourceWorkspace
+	db   map[string]float64
+	mu   sync.Mutex
+}
+
+// SetServices implements cca.Component.
+func (tc *ThermoChemistry) SetServices(svc cca.Services) error {
+	name := svc.Parameters().GetString("mech", "h2air")
+	m, err := chem.ByName(name)
+	if err != nil {
+		return err
+	}
+	tc.mech = m
+	tc.ws = chem.NewSourceWorkspace(m)
+	tc.db = make(map[string]float64)
+	// Populate the property database: molar masses and counts.
+	tc.db["nspecies"] = float64(m.NumSpecies())
+	tc.db["nreactions"] = float64(m.NumReactions())
+	for i, sp := range m.Species {
+		tc.db[fmt.Sprintf("W_%s", sp.Name)] = sp.W
+		tc.db[fmt.Sprintf("index_%s", sp.Name)] = float64(i)
+	}
+	if err := svc.AddProvidesPort(tc, "chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(keyValueView{tc}, "properties", KeyValuePortType)
+}
+
+// Mechanism implements ChemistryPort.
+func (tc *ThermoChemistry) Mechanism() *chem.Mechanism { return tc.mech }
+
+// ConstPressure implements ChemistryPort. It serializes access to the
+// shared workspace; per-goroutine callers should hold their own
+// component instances (one framework per rank under SCMD guarantees it).
+func (tc *ThermoChemistry) ConstPressure(T, P float64, Y, dY []float64) float64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.mech.ConstPressureSource(T, P, Y, dY, tc.ws)
+}
+
+// ConstVolume implements ChemistryPort.
+func (tc *ThermoChemistry) ConstVolume(T, rho float64, Y, dY []float64) float64 {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	return tc.mech.ConstVolumeSource(T, rho, Y, dY, tc.ws)
+}
+
+// keyValueView adapts the property map to KeyValuePort.
+type keyValueView struct{ tc *ThermoChemistry }
+
+func (v keyValueView) SetValue(key string, val float64) {
+	v.tc.mu.Lock()
+	v.tc.db[key] = val
+	v.tc.mu.Unlock()
+}
+
+func (v keyValueView) Value(key string) (float64, bool) {
+	v.tc.mu.Lock()
+	defer v.tc.mu.Unlock()
+	val, ok := v.tc.db[key]
+	return val, ok
+}
+
+// DPDt is the paper's dPdt component: it computes the pressure term
+// for the rigid-wall (constant mass and volume) boundary condition of
+// the 0D ignition problem.
+type DPDt struct {
+	svc  cca.Services
+	chem ChemistryPort
+}
+
+// SetServices implements cca.Component.
+func (d *DPDt) SetServices(svc cca.Services) error {
+	d.svc = svc
+	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(d, "dpdt", DPDtPortType)
+}
+
+// DPDt implements DPDtPort.
+func (d *DPDt) DPDt(rho, T, dTdt float64, Y, dYdt []float64) float64 {
+	if d.chem == nil {
+		p, err := d.svc.GetPort("chemistry")
+		if err != nil {
+			panic(err) // wiring bug: assembly must connect chemistry first
+		}
+		d.chem = p.(ChemistryPort)
+	}
+	return d.chem.Mechanism().DPDt(rho, T, dTdt, Y, dYdt)
+}
+
+// ProblemModeler is the 0D adaptor between the integrator and the
+// chemistry: it assembles the RHS over the state vector
+// Phi = {T, Y_1..Y_N, P}, adding the pressure term supplied by the
+// dPdt component to the heat equation (rigid walls: constant mass and
+// volume).
+type ProblemModeler struct {
+	svc  cca.Services
+	dY   []float64
+	chem ChemistryPort
+	dpdt DPDtPort
+}
+
+// SetServices implements cca.Component.
+func (pm *ProblemModeler) SetServices(svc cca.Services) error {
+	pm.svc = svc
+	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	if err := svc.RegisterUsesPort("dpdt", DPDtPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(pm, "rhs", RHSPortType)
+}
+
+func (pm *ProblemModeler) chemistry() ChemistryPort {
+	if pm.chem == nil {
+		p, err := pm.svc.GetPort("chemistry")
+		if err != nil {
+			panic(err)
+		}
+		pm.chem = p.(ChemistryPort)
+	}
+	return pm.chem
+}
+
+// Dim implements RHSPort: T + all species + P.
+func (pm *ProblemModeler) Dim() int {
+	return pm.chemistry().Mechanism().NumSpecies() + 2
+}
+
+// Eval implements RHSPort for y = [T, Y_0..Y_{n-1}, P]. The density of
+// the rigid vessel is recovered from the instantaneous state (it is a
+// constant of the motion under these equations).
+func (pm *ProblemModeler) Eval(t float64, y, ydot []float64) {
+	chemPort := pm.chemistry()
+	mech := chemPort.Mechanism()
+	n := mech.NumSpecies()
+	T := y[0]
+	Y := y[1 : 1+n]
+	P := y[1+n]
+	if T < 200 {
+		T = 200 // guard transients; chemistry is frozen this cold anyway
+	}
+	rho := mech.Density(P, T, Y)
+	if pm.dY == nil {
+		pm.dY = make([]float64, n)
+	}
+	dT := chemPort.ConstVolume(T, rho, Y, pm.dY)
+	ydot[0] = dT
+	copy(ydot[1:1+n], pm.dY)
+
+	if pm.dpdt == nil {
+		dp, err := pm.svc.GetPort("dpdt")
+		if err != nil {
+			panic(err)
+		}
+		pm.dpdt = dp.(DPDtPort)
+	}
+	ydot[1+n] = pm.dpdt.DPDt(rho, T, dT, Y, pm.dY)
+}
+
+// Initializer imposes the 0D initial condition: a vector of double
+// precision numbers giving the stoichiometric mass fractions, the
+// initial temperature and the initial pressure, settable through
+// parameters "T0" (K) and "P0" (Pa).
+type Initializer struct {
+	T0, P0 float64
+	svc    cca.Services
+}
+
+// SetServices implements cca.Component.
+func (ic *Initializer) SetServices(svc cca.Services) error {
+	ic.svc = svc
+	ic.T0 = svc.Parameters().GetFloat("T0", 1000)
+	ic.P0 = svc.Parameters().GetFloat("P0", chem.PAtm)
+	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(ic, "ic", ICStatePortType)
+}
+
+// InitialState implements ICStatePort.
+func (ic *Initializer) InitialState() (float64, float64, []float64) {
+	p, err := ic.svc.GetPort("chemistry")
+	if err != nil {
+		panic(err)
+	}
+	ic.svc.ReleasePort("chemistry")
+	mech := p.(ChemistryPort).Mechanism()
+	return ic.T0, ic.P0, mech.StoichiometricH2Air()
+}

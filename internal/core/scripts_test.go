@@ -1,0 +1,108 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ccahydro/internal/cca"
+)
+
+// TestShippedScriptsAssemble parses every script in scripts/ and
+// executes it against the real palette with "go" commands stripped, so
+// a wiring or class-name drift in the shipped files fails CI.
+func TestShippedScriptsAssemble(t *testing.T) {
+	dir := filepath.Join("..", "..", "scripts")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("scripts dir unavailable: %v", err)
+	}
+	found := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".rc" {
+			continue
+		}
+		found++
+		t.Run(e.Name(), func(t *testing.T) {
+			text, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			script, err := cca.ParseScriptString(string(text))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			var wiringOnly cca.Script
+			nGo := 0
+			for _, c := range script.Commands {
+				if c.Verb == "go" {
+					nGo++
+					continue
+				}
+				wiringOnly.Commands = append(wiringOnly.Commands, c)
+			}
+			if nGo == 0 {
+				t.Error("script has no go command")
+			}
+			f := cca.NewFramework(Repo(), nil)
+			if err := wiringOnly.Execute(f); err != nil {
+				t.Fatalf("execute: %v", err)
+			}
+			if len(f.Connections()) == 0 {
+				t.Error("script produced no connections")
+			}
+		})
+	}
+	if found < 3 {
+		t.Errorf("expected >= 3 shipped scripts, found %d", found)
+	}
+}
+
+// TestStrangSplitting runs the flame with Strang splitting and checks
+// it stays physical and close to the Lie-split result over a short
+// horizon.
+func TestStrangSplitting(t *testing.T) {
+	base := []Param{
+		{"grace", "nx", "16"}, {"grace", "ny", "16"},
+		{"grace", "maxLevels", "1"},
+		{"driver", "steps", "2"}, {"driver", "dt", "1e-7"},
+		{"driver", "regridEvery", "0"},
+	}
+	lie, _, err := RunReactionDiffusion(nil, base...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strang, _, err := RunReactionDiffusion(nil, append(base, Param{"driver", "splitting", "strang"})...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Over 2 tiny steps the two splittings agree to leading order.
+	if d := lie.TMax - strang.TMax; d > 5 || d < -5 {
+		t.Errorf("lie Tmax %v vs strang %v", lie.TMax, strang.TMax)
+	}
+	if strang.TMin < 295 || strang.TMax > 3500 {
+		t.Errorf("strang run unphysical: %v..%v", strang.TMin, strang.TMax)
+	}
+}
+
+// TestDiffusionOnlyScalingDriver exercises the skipChem path used by
+// the scaling studies.
+func TestDiffusionOnlyScalingDriver(t *testing.T) {
+	dr, _, err := RunReactionDiffusion(nil,
+		Param{"grace", "nx", "16"}, Param{"grace", "ny", "16"},
+		Param{"grace", "maxLevels", "1"},
+		Param{"driver", "steps", "3"}, Param{"driver", "dt", "1e-7"},
+		Param{"driver", "regridEvery", "0"},
+		Param{"driver", "skipChem", "true"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pure diffusion cannot raise the maximum temperature.
+	if dr.TMax > 1801 {
+		t.Errorf("diffusion-only Tmax rose to %v", dr.TMax)
+	}
+	if dr.TMin < 299 {
+		t.Errorf("Tmin fell to %v", dr.TMin)
+	}
+}

@@ -1,0 +1,135 @@
+package cvode
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAbsTolVecPerComponent(t *testing.T) {
+	// Two decoupled decays with wildly different magnitudes: per-
+	// component absolute tolerances must let both resolve.
+	s := New(2, func(_ float64, y, ydot []float64) {
+		ydot[0] = -y[0]      // O(1) component
+		ydot[1] = -10 * y[1] // O(1e-8) component
+	}, Options{RelTol: 1e-8, AbsTolVec: []float64{1e-10, 1e-18}})
+	s.Init(0, []float64{1, 1e-8})
+	if err := s.Integrate(1); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Y()[0], math.Exp(-1), 1e-6) {
+		t.Errorf("y0 = %v", s.Y()[0])
+	}
+	if !almost(s.Y()[1], 1e-8*math.Exp(-10), 1e-4) {
+		t.Errorf("y1 = %v, want %v", s.Y()[1], 1e-8*math.Exp(-10))
+	}
+}
+
+func TestNonAutonomousForcing(t *testing.T) {
+	// y' = cos(t) - y: analytic y = (cos t + sin t - e^{-t})/2 + y0 e^{-t}.
+	s := New(1, func(tt float64, y, ydot []float64) {
+		ydot[0] = math.Cos(tt) - y[0]
+	}, Options{RelTol: 1e-9, AbsTol: 1e-12})
+	s.Init(0, []float64{0})
+	if err := s.Integrate(2); err != nil {
+		t.Fatal(err)
+	}
+	want := (math.Cos(2) + math.Sin(2) - math.Exp(-2)) / 2
+	if !almost(s.Y()[0], want, 1e-6) {
+		t.Errorf("y(2) = %v, want %v", s.Y()[0], want)
+	}
+}
+
+func TestStiffnessRatio1e6(t *testing.T) {
+	// lambda = -1e6 transient plus slow mode: the implicit method must
+	// coarsen far past the fast scale.
+	s := New(2, func(_ float64, y, ydot []float64) {
+		ydot[0] = -1e6 * (y[0] - math.Sin(y[1]))
+		ydot[1] = -y[1]
+	}, Options{RelTol: 1e-7, AbsTol: 1e-11})
+	s.Init(0, []float64{1, 1})
+	if err := s.Integrate(1); err != nil {
+		t.Fatal(err)
+	}
+	// After the transient, y0 tracks sin(y1) (slow manifold).
+	if !almost(s.Y()[0], math.Sin(s.Y()[1]), 1e-5) {
+		t.Errorf("off manifold: y0=%v sin(y1)=%v", s.Y()[0], math.Sin(s.Y()[1]))
+	}
+	if s.Stats().Steps > 2000 {
+		t.Errorf("steps = %d — not coarsening past the 1e-6 scale", s.Stats().Steps)
+	}
+}
+
+func TestFixedPointModeOnMildProblem(t *testing.T) {
+	nonstiff := false
+	s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -0.5 * y[0] },
+		Options{RelTol: 1e-8, AbsTol: 1e-12, Stiff: &nonstiff})
+	s.Init(0, []float64{4})
+	if err := s.Integrate(2); err != nil {
+		t.Fatal(err)
+	}
+	if !almost(s.Y()[0], 4*math.Exp(-1), 1e-6) {
+		t.Errorf("y = %v", s.Y()[0])
+	}
+	if s.Stats().JacEvals != 0 {
+		t.Errorf("fixed-point mode built %d Jacobians", s.Stats().JacEvals)
+	}
+}
+
+func TestInitialStepOption(t *testing.T) {
+	s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -y[0] },
+		Options{RelTol: 1e-6, AbsTol: 1e-10, InitialStep: 1e-3})
+	s.Init(0, []float64{1})
+	if err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	// First accepted step is the requested one (or a shrink of it).
+	if s.Stats().LastStep > 1e-3+1e-15 {
+		t.Errorf("first step = %v, exceeds InitialStep", s.Stats().LastStep)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() ([]float64, Stats) {
+		s := New(2, func(_ float64, y, ydot []float64) {
+			ydot[0] = -40*y[0] + 10*y[1]
+			ydot[1] = y[0] - y[1]*y[1]
+		}, Options{RelTol: 1e-8, AbsTol: 1e-12})
+		s.Init(0, []float64{1, 2})
+		if err := s.Integrate(0.5); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), s.Y()...), s.Stats()
+	}
+	y1, st1 := run()
+	y2, st2 := run()
+	if y1[0] != y2[0] || y1[1] != y2[1] {
+		t.Errorf("non-deterministic results: %v vs %v", y1, y2)
+	}
+	if st1.Steps != st2.Steps || st1.RHSEvals != st2.RHSEvals {
+		t.Errorf("non-deterministic work: %+v vs %+v", st1, st2)
+	}
+}
+
+// Regression anchor: the full 0D ignition trajectory. If the solver's
+// controls change, this locks the physics (final T, monotone runaway).
+func TestIgnitionRegressionAnchor(t *testing.T) {
+	// Simple 2-species exothermic model A -> B with Arrhenius rate:
+	// dA/dt = -A*exp(10-10/T), dT/dt = 50*A*exp(10-10/T), T0=1, A0=1.
+	f := func(_ float64, y, ydot []float64) {
+		r := y[0] * math.Exp(10-10/math.Max(y[1], 0.1))
+		ydot[0] = -r
+		ydot[1] = 50 * r
+	}
+	s := New(2, f, Options{RelTol: 1e-8, AbsTol: 1e-12})
+	s.Init(0, []float64{1, 1})
+	if err := s.Integrate(10); err != nil {
+		t.Fatal(err)
+	}
+	// All fuel consumed; T = 1 + 50 (energy conservation of the model).
+	if !almost(s.Y()[1], 51, 1e-6) {
+		t.Errorf("final T = %v, want 51", s.Y()[1])
+	}
+	if s.Y()[0] > 1e-6 {
+		t.Errorf("fuel left: %v", s.Y()[0])
+	}
+}

@@ -1,0 +1,49 @@
+package euler
+
+import "math"
+
+// EFM is Pullin's Equilibrium Flux Method (J. Comp. Phys. 34, 1980): a
+// kinetic flux-vector splitting that transports half-Maxwellians across
+// the interface. It is more diffusive than the Godunov flux but
+// positively conservative and robust for strong shocks — the paper
+// swaps it in for the Mach 3.5 case by reconnecting one component.
+
+// efmHalf computes the one-sided kinetic flux of a state moving in +x
+// (sign=+1) or -x (sign=-1).
+func efmHalf(g Gas, w Primitive, sign float64) Conserved {
+	rt := w.P / w.Rho // R*T per unit mass
+	beta := 1 / (2 * rt)
+	s := w.U * math.Sqrt(beta)
+	// W = weight of molecules crossing with the chosen sign,
+	// D = number-flux correction from thermal motion.
+	var wgt, d float64
+	if sign > 0 {
+		wgt = 0.5 * math.Erfc(-s)
+		d = 0.5 * math.Exp(-s*s) / math.Sqrt(math.Pi*beta)
+	} else {
+		wgt = 0.5 * math.Erfc(s)
+		d = -0.5 * math.Exp(-s*s) / math.Sqrt(math.Pi*beta)
+	}
+	e := w.P/(g.Gamma-1) + 0.5*w.Rho*(w.U*w.U+w.V*w.V)
+	massFlux := w.Rho * (w.U*wgt + d)
+	return Conserved{
+		massFlux,
+		(w.Rho*w.U*w.U+w.P)*wgt + w.Rho*w.U*d,
+		w.V * massFlux,
+		(e+w.P)*w.U*wgt + (e+0.5*w.P)*d,
+		w.Zeta * massFlux,
+	}
+}
+
+// EFMFlux returns the equilibrium-flux-method interface flux for an
+// x-sweep: upstream half-flux of the left state plus downstream
+// half-flux of the right state.
+func EFMFlux(g Gas, l, r Primitive) Conserved {
+	fp := efmHalf(g, l, +1)
+	fm := efmHalf(g, r, -1)
+	var out Conserved
+	for k := 0; k < NumComp; k++ {
+		out[k] = fp[k] + fm[k]
+	}
+	return out
+}

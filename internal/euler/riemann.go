@@ -1,0 +1,144 @@
+package euler
+
+import "math"
+
+// Exact Riemann solver for the 1D Euler equations (ideal gas, single
+// gamma), after Toro. Given left/right states it finds the star-region
+// pressure/velocity by Newton iteration on the pressure function, then
+// samples the self-similar solution at x/t = 0 to produce the Godunov
+// interface flux. The tracked scalar zeta and tangential velocity ride
+// passively with the contact.
+
+// RiemannSolution holds the star-region values of one solved problem.
+type RiemannSolution struct {
+	PStar, UStar float64
+	Iterations   int
+}
+
+// fK is Toro's pressure function for one side and its derivative.
+func fK(g Gas, p float64, w Primitive) (f, df float64) {
+	c := math.Sqrt(g.Gamma * w.P / w.Rho)
+	if p > w.P {
+		// Shock branch.
+		a := 2 / ((g.Gamma + 1) * w.Rho)
+		b := (g.Gamma - 1) / (g.Gamma + 1) * w.P
+		sq := math.Sqrt(a / (p + b))
+		f = (p - w.P) * sq
+		df = sq * (1 - (p-w.P)/(2*(p+b)))
+		return f, df
+	}
+	// Rarefaction branch.
+	pr := p / w.P
+	ex := (g.Gamma - 1) / (2 * g.Gamma)
+	f = 2 * c / (g.Gamma - 1) * (math.Pow(pr, ex) - 1)
+	df = math.Pow(pr, -(g.Gamma+1)/(2*g.Gamma)) / (w.Rho * c)
+	return f, df
+}
+
+// SolveRiemann finds the star state for left/right primitive states
+// (only Rho, U, P matter; V and Zeta are passive).
+func SolveRiemann(g Gas, l, r Primitive) RiemannSolution {
+	cl := math.Sqrt(g.Gamma * l.P / l.Rho)
+	cr := math.Sqrt(g.Gamma * r.P / r.Rho)
+	du := r.U - l.U
+
+	// Initial guess: two-rarefaction approximation, guarded by PVRS.
+	p0 := 0.5*(l.P+r.P) - 0.125*du*(l.Rho+r.Rho)*(cl+cr)
+	if p0 < 1e-10 {
+		p0 = 1e-10
+	}
+
+	p := p0
+	var it int
+	for it = 0; it < 50; it++ {
+		flv, dfl := fK(g, p, l)
+		frv, dfr := fK(g, p, r)
+		f := flv + frv + du
+		df := dfl + dfr
+		dp := f / df
+		pNew := p - dp
+		if pNew < 1e-12 {
+			pNew = 1e-12
+		}
+		if math.Abs(pNew-p) < 1e-12*(pNew+p) {
+			p = pNew
+			break
+		}
+		p = pNew
+	}
+	flv, _ := fK(g, p, l)
+	frv, _ := fK(g, p, r)
+	u := 0.5*(l.U+r.U) + 0.5*(frv-flv)
+	return RiemannSolution{PStar: p, UStar: u, Iterations: it + 1}
+}
+
+// SampleRiemann evaluates the self-similar solution W(x/t = s) of the
+// Riemann problem (Toro's sampling procedure).
+func SampleRiemann(g Gas, l, r Primitive, sol RiemannSolution, s float64) Primitive {
+	gm1 := g.Gamma - 1
+	gp1 := g.Gamma + 1
+	if s <= sol.UStar {
+		// Left of contact: left wave family, zeta/tangential from left.
+		cl := math.Sqrt(g.Gamma * l.P / l.Rho)
+		if sol.PStar > l.P {
+			// Left shock.
+			sl := l.U - cl*math.Sqrt(gp1/(2*g.Gamma)*sol.PStar/l.P+gm1/(2*g.Gamma))
+			if s < sl {
+				return l
+			}
+			rho := l.Rho * (sol.PStar/l.P + gm1/gp1) / (gm1/gp1*sol.PStar/l.P + 1)
+			return Primitive{Rho: rho, U: sol.UStar, V: l.V, P: sol.PStar, Zeta: l.Zeta}
+		}
+		// Left rarefaction.
+		cstar := cl * math.Pow(sol.PStar/l.P, gm1/(2*g.Gamma))
+		head := l.U - cl
+		tail := sol.UStar - cstar
+		switch {
+		case s < head:
+			return l
+		case s > tail:
+			rho := l.Rho * math.Pow(sol.PStar/l.P, 1/g.Gamma)
+			return Primitive{Rho: rho, U: sol.UStar, V: l.V, P: sol.PStar, Zeta: l.Zeta}
+		default:
+			// Inside the fan.
+			u := 2 / gp1 * (cl + gm1/2*l.U + s)
+			c := 2 / gp1 * (cl + gm1/2*(l.U-s))
+			rho := l.Rho * math.Pow(c/cl, 2/gm1)
+			p := l.P * math.Pow(c/cl, 2*g.Gamma/gm1)
+			return Primitive{Rho: rho, U: u, V: l.V, P: p, Zeta: l.Zeta}
+		}
+	}
+	// Right of contact (mirror).
+	cr := math.Sqrt(g.Gamma * r.P / r.Rho)
+	if sol.PStar > r.P {
+		sr := r.U + cr*math.Sqrt(gp1/(2*g.Gamma)*sol.PStar/r.P+gm1/(2*g.Gamma))
+		if s > sr {
+			return r
+		}
+		rho := r.Rho * (sol.PStar/r.P + gm1/gp1) / (gm1/gp1*sol.PStar/r.P + 1)
+		return Primitive{Rho: rho, U: sol.UStar, V: r.V, P: sol.PStar, Zeta: r.Zeta}
+	}
+	cstar := cr * math.Pow(sol.PStar/r.P, gm1/(2*g.Gamma))
+	head := r.U + cr
+	tail := sol.UStar + cstar
+	switch {
+	case s > head:
+		return r
+	case s < tail:
+		rho := r.Rho * math.Pow(sol.PStar/r.P, 1/g.Gamma)
+		return Primitive{Rho: rho, U: sol.UStar, V: r.V, P: sol.PStar, Zeta: r.Zeta}
+	default:
+		u := 2 / gp1 * (-cr + gm1/2*r.U + s)
+		c := 2 / gp1 * (cr - gm1/2*(r.U-s))
+		rho := r.Rho * math.Pow(c/cr, 2/gm1)
+		p := r.P * math.Pow(c/cr, 2*g.Gamma/gm1)
+		return Primitive{Rho: rho, U: u, V: r.V, P: p, Zeta: r.Zeta}
+	}
+}
+
+// GodunovFlux returns the exact-Riemann interface flux for an x-sweep.
+func GodunovFlux(g Gas, l, r Primitive) Conserved {
+	sol := SolveRiemann(g, l, r)
+	w := SampleRiemann(g, l, r, sol, 0)
+	return g.FluxX(w)
+}

@@ -1,0 +1,204 @@
+package field
+
+import "ccahydro/internal/amr"
+
+// Physical boundary conditions, applied patch by patch — the paper's
+// Boundary Condition subsystem works at patch granularity because BCs
+// must be re-applied at every stage of a multi-stage integrator.
+
+// Side identifies one face of the rectangular domain.
+type Side int
+
+// Domain faces.
+const (
+	XLo Side = iota
+	XHi
+	YLo
+	YHi
+)
+
+// AllSides lists the four faces.
+var AllSides = [4]Side{XLo, XHi, YLo, YHi}
+
+func (s Side) String() string {
+	return [...]string{"x-lo", "x-hi", "y-lo", "y-hi"}[s]
+}
+
+// BCKind selects the ghost-fill rule at a physical boundary.
+type BCKind int
+
+const (
+	// BCOutflow copies the nearest interior cell (zero gradient).
+	BCOutflow BCKind = iota
+	// BCReflect mirrors interior cells; components listed in OddComps
+	// flip sign (normal velocity at a wall).
+	BCReflect
+	// BCDirichlet imposes a fixed value.
+	BCDirichlet
+	// BCPeriodic wraps around the domain (serial fast path; in parallel
+	// the wrap is handled as an exchange by the caller).
+	BCPeriodic
+)
+
+// BCSpec is the rule for one side.
+type BCSpec struct {
+	Kind BCKind
+	// Value is used by BCDirichlet.
+	Value float64
+	// OddComps lists component indices whose mirror value flips sign
+	// under BCReflect.
+	OddComps []int
+}
+
+func (b BCSpec) odd(c int) bool {
+	for _, o := range b.OddComps {
+		if o == c {
+			return true
+		}
+	}
+	return false
+}
+
+// BCSet holds one rule per side.
+type BCSet [4]BCSpec
+
+// UniformBC builds a BCSet with the same rule on all sides.
+func UniformBC(spec BCSpec) BCSet {
+	return BCSet{spec, spec, spec, spec}
+}
+
+// ApplyPhysicalBCs fills ghost cells of every local patch on a level
+// that lie outside the physical domain. It is purely local (no
+// communication): each patch touching a domain face fills its own
+// out-of-domain ghosts from its own interior.
+func (d *DataObject) ApplyPhysicalBCs(level int, bcs BCSet) {
+	domain := d.h.LevelDomain(level)
+	for _, pd := range d.LocalPatches(level) {
+		applyPatchBCs(pd, domain, d.Ghost, bcs)
+	}
+}
+
+func applyPatchBCs(pd *PatchData, domain amr.Box, ghost int, bcs BCSet) {
+	box := pd.Interior()
+	g := pd.GrownBox()
+	// X faces first, then Y over the full grown width so corners get
+	// filled by composition.
+	if box.Lo[0] == domain.Lo[0] {
+		fillSide(pd, bcs[XLo], XLo, domain, ghost)
+	}
+	if box.Hi[0] == domain.Hi[0] {
+		fillSide(pd, bcs[XHi], XHi, domain, ghost)
+	}
+	if box.Lo[1] == domain.Lo[1] {
+		fillSide(pd, bcs[YLo], YLo, domain, ghost)
+	}
+	if box.Hi[1] == domain.Hi[1] {
+		fillSide(pd, bcs[YHi], YHi, domain, ghost)
+	}
+	_ = g
+}
+
+func fillSide(pd *PatchData, spec BCSpec, side Side, domain amr.Box, ghost int) {
+	g := pd.GrownBox()
+	nx, _ := domain.Size()
+	_, ny := domain.Size()
+	for c := 0; c < pd.NComp; c++ {
+		for layer := 1; layer <= ghost; layer++ {
+			switch side {
+			case XLo:
+				i := domain.Lo[0] - layer
+				for j := g.Lo[1]; j <= g.Hi[1]; j++ {
+					pd.Set(c, i, j, bcValue(pd, spec, c, i, j, side, domain, layer, nx, ny))
+				}
+			case XHi:
+				i := domain.Hi[0] + layer
+				for j := g.Lo[1]; j <= g.Hi[1]; j++ {
+					pd.Set(c, i, j, bcValue(pd, spec, c, i, j, side, domain, layer, nx, ny))
+				}
+			case YLo:
+				j := domain.Lo[1] - layer
+				for i := g.Lo[0]; i <= g.Hi[0]; i++ {
+					pd.Set(c, i, j, bcValue(pd, spec, c, i, j, side, domain, layer, nx, ny))
+				}
+			case YHi:
+				j := domain.Hi[1] + layer
+				for i := g.Lo[0]; i <= g.Hi[0]; i++ {
+					pd.Set(c, i, j, bcValue(pd, spec, c, i, j, side, domain, layer, nx, ny))
+				}
+			}
+		}
+	}
+}
+
+// bcValue computes the ghost value at (i, j), one of the out-of-domain
+// layers on the given side. Source cells are clamped into the patch's
+// grown box so narrow patches still work.
+func bcValue(pd *PatchData, spec BCSpec, c, i, j int, side Side, domain amr.Box, layer, nx, ny int) float64 {
+	clamp := func(i2, j2 int) (int, int) {
+		g := pd.GrownBox()
+		if i2 < g.Lo[0] {
+			i2 = g.Lo[0]
+		}
+		if i2 > g.Hi[0] {
+			i2 = g.Hi[0]
+		}
+		if j2 < g.Lo[1] {
+			j2 = g.Lo[1]
+		}
+		if j2 > g.Hi[1] {
+			j2 = g.Hi[1]
+		}
+		return i2, j2
+	}
+	switch spec.Kind {
+	case BCDirichlet:
+		return spec.Value
+	case BCOutflow:
+		var si, sj int
+		switch side {
+		case XLo:
+			si, sj = domain.Lo[0], j
+		case XHi:
+			si, sj = domain.Hi[0], j
+		case YLo:
+			si, sj = i, domain.Lo[1]
+		case YHi:
+			si, sj = i, domain.Hi[1]
+		}
+		si, sj = clamp(si, sj)
+		return pd.At(c, si, sj)
+	case BCReflect:
+		var si, sj int
+		switch side {
+		case XLo:
+			si, sj = domain.Lo[0]+layer-1, j
+		case XHi:
+			si, sj = domain.Hi[0]-layer+1, j
+		case YLo:
+			si, sj = i, domain.Lo[1]+layer-1
+		case YHi:
+			si, sj = i, domain.Hi[1]-layer+1
+		}
+		si, sj = clamp(si, sj)
+		v := pd.At(c, si, sj)
+		if spec.odd(c) {
+			v = -v
+		}
+		return v
+	case BCPeriodic:
+		var si, sj int
+		switch side {
+		case XLo:
+			si, sj = i+nx, j
+		case XHi:
+			si, sj = i-nx, j
+		case YLo:
+			si, sj = i, j+ny
+		case YHi:
+			si, sj = i, j-ny
+		}
+		si, sj = clamp(si, sj)
+		return pd.At(c, si, sj)
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package field
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/mpi"
+)
+
+func TestCheckpointRoundTripSerial(t *testing.T) {
+	h := refinedHierarchy()
+	d := New("phi", h, 3, 2, nil)
+	d.Names = []string{"T", "Y0", "Y1"}
+	// Paint recognizable data including ghosts.
+	d.ForEachLocal(func(pd *PatchData) {
+		g := pd.GrownBox()
+		for c := 0; c < 3; c++ {
+			for j := g.Lo[1]; j <= g.Hi[1]; j++ {
+				for i := g.Lo[0]; i <= g.Hi[0]; i++ {
+					pd.Set(c, i, j, float64(c*1000000+pd.Patch.ID*10000+(i+100)*100+(j+100)))
+				}
+			}
+		}
+	})
+
+	var buf bytes.Buffer
+	if err := d.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := ReadCheckpoint(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Name != "phi" || d2.NComp != 3 || d2.Ghost != 2 || len(d2.Names) != 3 {
+		t.Fatalf("header mismatch: %+v", d2)
+	}
+	if d2.Hierarchy().NumLevels() != h.NumLevels() {
+		t.Fatalf("levels = %d", d2.Hierarchy().NumLevels())
+	}
+	// Every cell (ghosts included) must match.
+	d.ForEachLocal(func(pd *PatchData) {
+		pd2 := d2.Local(pd.Patch.ID)
+		if pd2 == nil {
+			t.Fatalf("patch %d missing after restart", pd.Patch.ID)
+		}
+		g := pd.GrownBox()
+		for c := 0; c < 3; c++ {
+			for j := g.Lo[1]; j <= g.Hi[1]; j++ {
+				for i := g.Lo[0]; i <= g.Hi[0]; i++ {
+					if pd2.At(c, i, j) != pd.At(c, i, j) {
+						t.Fatalf("patch %d c=%d (%d,%d): %v != %v",
+							pd.Patch.ID, c, i, j, pd2.At(c, i, j), pd.At(c, i, j))
+					}
+				}
+			}
+		}
+	})
+}
+
+func TestCheckpointParallelShards(t *testing.T) {
+	// Each rank writes its shard; a fresh cohort restarts from them and
+	// the reassembled data matches.
+	shards := make([][]byte, 4)
+	var mu sync.Mutex
+	mpi.Run(4, mpi.ZeroModel, func(comm *mpi.Comm) {
+		h := amr.NewHierarchy(amr.NewBox(0, 0, 31, 31), 2, 1, 4)
+		d := New("u", h, 2, 1, comm)
+		for _, pd := range d.LocalPatches(0) {
+			pd.FillAll(float64(comm.Rank() + 1))
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCheckpoint(&buf); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		shards[comm.Rank()] = buf.Bytes()
+		mu.Unlock()
+	})
+	// Restart on a fresh 4-rank cohort.
+	mpi.Run(4, mpi.ZeroModel, func(comm *mpi.Comm) {
+		d, err := ReadCheckpoint(bytes.NewReader(shards[comm.Rank()]), comm)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for _, pd := range d.LocalPatches(0) {
+			b := pd.Interior()
+			if got := pd.At(0, b.Lo[0], b.Lo[1]); got != float64(comm.Rank()+1) {
+				t.Errorf("rank %d restored %v", comm.Rank(), got)
+			}
+		}
+		// The restored object is live: a collective exchange works.
+		d.ExchangeGhosts(0)
+	})
+}
+
+func TestCheckpointRankMismatch(t *testing.T) {
+	shards := make([][]byte, 2)
+	var mu sync.Mutex
+	mpi.Run(2, mpi.ZeroModel, func(comm *mpi.Comm) {
+		h := amr.NewHierarchy(amr.NewBox(0, 0, 15, 15), 2, 1, 2)
+		d := New("u", h, 1, 1, comm)
+		var buf bytes.Buffer
+		if err := d.WriteCheckpoint(&buf); err != nil {
+			t.Error(err)
+		}
+		mu.Lock()
+		shards[comm.Rank()] = buf.Bytes()
+		mu.Unlock()
+	})
+	// Serial restart of a parallel checkpoint: rejected.
+	if _, err := ReadCheckpoint(bytes.NewReader(shards[0]), nil); err == nil ||
+		!strings.Contains(err.Error(), "needs a communicator") {
+		t.Errorf("err = %v", err)
+	}
+	// Wrong-rank shard: rejected.
+	mpi.Run(2, mpi.ZeroModel, func(comm *mpi.Comm) {
+		other := (comm.Rank() + 1) % 2
+		if _, err := ReadCheckpoint(bytes.NewReader(shards[other]), comm); err == nil {
+			t.Errorf("rank %d accepted rank %d's shard", comm.Rank(), other)
+		}
+	})
+	// Wrong cohort size: rejected.
+	mpi.Run(4, mpi.ZeroModel, func(comm *mpi.Comm) {
+		if comm.Rank() == 0 {
+			if _, err := ReadCheckpoint(bytes.NewReader(shards[0]), comm); err == nil {
+				t.Error("4-rank cohort accepted 2-rank checkpoint")
+			}
+		}
+	})
+}
+
+func TestCheckpointGarbageInput(t *testing.T) {
+	if _, err := ReadCheckpoint(strings.NewReader("not a checkpoint"), nil); err == nil {
+		t.Error("expected decode error")
+	}
+}

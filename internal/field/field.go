@@ -1,0 +1,297 @@
+// Package field implements the paper's Data Object subsystem: named,
+// multi-component arrays declared on the patches of an AMR hierarchy,
+// one array per patch, with ghost-cell exchange, coarse–fine transfer
+// (prolongation/restriction), physical boundary fills, and data
+// migration across regrids. Packing and unpacking of data before and
+// after message passing — which the paper assigns to this subsystem —
+// happens here, over the mpi substrate.
+package field
+
+import (
+	"fmt"
+	"math"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/mpi"
+)
+
+// PatchData is the storage for one patch: NComp components over the
+// patch box grown by Ghost cells, in component-major, row-major order.
+type PatchData struct {
+	Patch *amr.Patch
+	NComp int
+	Ghost int
+
+	gbox   amr.Box
+	nx, ny int // grown extents
+	data   []float64
+}
+
+// NewPatchData allocates zeroed storage for a patch.
+func NewPatchData(p *amr.Patch, ncomp, ghost int) *PatchData {
+	g := p.Box.Grow(ghost)
+	nx, ny := g.Size()
+	return &PatchData{
+		Patch: p, NComp: ncomp, Ghost: ghost,
+		gbox: g, nx: nx, ny: ny,
+		data: make([]float64, ncomp*nx*ny),
+	}
+}
+
+// Interior returns the patch's interior box (no ghosts).
+func (pd *PatchData) Interior() amr.Box { return pd.Patch.Box }
+
+// GrownBox returns the storage box including ghost cells.
+func (pd *PatchData) GrownBox() amr.Box { return pd.gbox }
+
+func (pd *PatchData) idx(c, i, j int) int {
+	return c*pd.nx*pd.ny + (j-pd.gbox.Lo[1])*pd.nx + (i - pd.gbox.Lo[0])
+}
+
+// At reads component c at cell (i, j); the cell must lie in the grown box.
+func (pd *PatchData) At(c, i, j int) float64 { return pd.data[pd.idx(c, i, j)] }
+
+// Set writes component c at cell (i, j).
+func (pd *PatchData) Set(c, i, j int, v float64) { pd.data[pd.idx(c, i, j)] = v }
+
+// Add accumulates into component c at cell (i, j).
+func (pd *PatchData) Add(c, i, j int, v float64) { pd.data[pd.idx(c, i, j)] += v }
+
+// Comp returns the raw plane of one component (row-major over the grown
+// box); Stride returns the row stride for index arithmetic.
+func (pd *PatchData) Comp(c int) []float64 {
+	return pd.data[c*pd.nx*pd.ny : (c+1)*pd.nx*pd.ny]
+}
+
+// Stride is the row length of a component plane.
+func (pd *PatchData) Stride() int { return pd.nx }
+
+// Offset converts a (i, j) cell to a plane index.
+func (pd *PatchData) Offset(i, j int) int {
+	return (j-pd.gbox.Lo[1])*pd.nx + (i - pd.gbox.Lo[0])
+}
+
+// Fill sets every cell (including ghosts) of component c to v.
+func (pd *PatchData) Fill(c int, v float64) {
+	plane := pd.Comp(c)
+	for i := range plane {
+		plane[i] = v
+	}
+}
+
+// FillAll sets every cell of every component to v.
+func (pd *PatchData) FillAll(v float64) {
+	for i := range pd.data {
+		pd.data[i] = v
+	}
+}
+
+// CopyRegion copies all components of region (cell coordinates shared
+// by both patches' level) from src into pd.
+func (pd *PatchData) CopyRegion(src *PatchData, region amr.Box) {
+	r := region.Intersect(pd.gbox).Intersect(src.gbox)
+	if r.Empty() {
+		return
+	}
+	if src.NComp != pd.NComp {
+		panic("field: component count mismatch in CopyRegion")
+	}
+	for c := 0; c < pd.NComp; c++ {
+		for j := r.Lo[1]; j <= r.Hi[1]; j++ {
+			srcRow := src.Comp(c)[src.Offset(r.Lo[0], j) : src.Offset(r.Hi[0], j)+1]
+			dstRow := pd.Comp(c)[pd.Offset(r.Lo[0], j) : pd.Offset(r.Hi[0], j)+1]
+			copy(dstRow, srcRow)
+		}
+	}
+}
+
+// pack serializes all components of region into a flat buffer.
+func (pd *PatchData) pack(region amr.Box) []float64 {
+	r := region.Intersect(pd.gbox)
+	nx, ny := r.Size()
+	buf := make([]float64, 0, pd.NComp*nx*ny)
+	for c := 0; c < pd.NComp; c++ {
+		for j := r.Lo[1]; j <= r.Hi[1]; j++ {
+			row := pd.Comp(c)[pd.Offset(r.Lo[0], j) : pd.Offset(r.Hi[0], j)+1]
+			buf = append(buf, row...)
+		}
+	}
+	return buf
+}
+
+// unpack deserializes a buffer produced by pack over the same region.
+func (pd *PatchData) unpack(region amr.Box, buf []float64) {
+	r := region.Intersect(pd.gbox)
+	nx, ny := r.Size()
+	if len(buf) != pd.NComp*nx*ny {
+		panic(fmt.Sprintf("field: unpack length %d != %d", len(buf), pd.NComp*nx*ny))
+	}
+	k := 0
+	for c := 0; c < pd.NComp; c++ {
+		for j := r.Lo[1]; j <= r.Hi[1]; j++ {
+			row := pd.Comp(c)[pd.Offset(r.Lo[0], j) : pd.Offset(r.Hi[0], j)+1]
+			copy(row, buf[k:k+nx])
+			k += nx
+		}
+	}
+}
+
+// MaxAbs returns the max |value| of component c over the interior.
+func (pd *PatchData) MaxAbs(c int) float64 {
+	b := pd.Interior()
+	var m float64
+	for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+		for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+			if v := math.Abs(pd.At(c, i, j)); v > m {
+				m = v
+			}
+		}
+	}
+	return m
+}
+
+// DataObject is a named collection of per-patch arrays distributed over
+// the hierarchy's ranks. Metadata (which patches exist, who owns them)
+// is replicated; data exists only on the owner.
+type DataObject struct {
+	Name  string
+	NComp int
+	Ghost int
+	// Names optionally labels components (diagnostics).
+	Names []string
+
+	h    *amr.Hierarchy
+	comm *mpi.Comm // nil means serial
+	rank int
+
+	local map[int]*PatchData // patch ID -> data, owned patches only
+}
+
+// New allocates a DataObject over h's current patches. comm may be nil
+// for serial use; then all patches are local.
+func New(name string, h *amr.Hierarchy, ncomp, ghost int, comm *mpi.Comm) *DataObject {
+	d := &DataObject{
+		Name: name, NComp: ncomp, Ghost: ghost,
+		h: h, comm: comm,
+		local: make(map[int]*PatchData),
+	}
+	if comm != nil {
+		d.rank = comm.Rank()
+	}
+	d.allocate()
+	return d
+}
+
+func (d *DataObject) owns(p *amr.Patch) bool {
+	return d.comm == nil || p.Owner == d.rank
+}
+
+func (d *DataObject) allocate() {
+	for l := 0; l < d.h.NumLevels(); l++ {
+		for _, p := range d.h.Level(l).Patches {
+			if d.owns(p) {
+				d.local[p.ID] = NewPatchData(p, d.NComp, d.Ghost)
+			}
+		}
+	}
+}
+
+// Hierarchy returns the mesh this object is declared on.
+func (d *DataObject) Hierarchy() *amr.Hierarchy { return d.h }
+
+// Local returns the owned PatchData for a patch ID, or nil.
+func (d *DataObject) Local(id int) *PatchData { return d.local[id] }
+
+// LocalPatches returns owned patch data on a level, in patch order.
+func (d *DataObject) LocalPatches(level int) []*PatchData {
+	var out []*PatchData
+	for _, p := range d.h.Level(level).Patches {
+		if pd := d.local[p.ID]; pd != nil {
+			out = append(out, pd)
+		}
+	}
+	return out
+}
+
+// ForEachLocal applies fn to every owned patch on every level,
+// coarsest first.
+func (d *DataObject) ForEachLocal(fn func(*PatchData)) {
+	for l := 0; l < d.h.NumLevels(); l++ {
+		for _, pd := range d.LocalPatches(l) {
+			fn(pd)
+		}
+	}
+}
+
+// transfer is one region move between two same-level patches.
+type transfer struct {
+	srcID, dstID       int
+	srcOwner, dstOwner int
+	region             amr.Box
+}
+
+// executeTransfers runs a deterministic, collectively identical list of
+// transfers. Local pairs copy directly; remote pairs pack/send and
+// recv/unpack with tags derived from the list position, relying on the
+// substrate's per-pair FIFO ordering for cross-phase safety.
+func (d *DataObject) executeTransfers(ts []transfer, getSrc, getDst func(id int) *PatchData) {
+	if d.comm == nil {
+		for _, t := range ts {
+			dst := getDst(t.dstID)
+			src := getSrc(t.srcID)
+			if src != nil && dst != nil {
+				dst.CopyRegion(src, t.region)
+			}
+		}
+		return
+	}
+	// Post sends first (buffered), then receives, then local copies.
+	for i, t := range ts {
+		if t.srcOwner == d.rank && t.dstOwner != d.rank {
+			src := getSrc(t.srcID)
+			d.comm.Send(t.dstOwner, i, src.pack(t.region))
+		}
+	}
+	for i, t := range ts {
+		switch {
+		case t.dstOwner == d.rank && t.srcOwner != d.rank:
+			buf, _ := d.comm.Recv(t.srcOwner, i)
+			getDst(t.dstID).unpack(t.region, buf)
+		case t.dstOwner == d.rank && t.srcOwner == d.rank:
+			getDst(t.dstID).CopyRegion(getSrc(t.srcID), t.region)
+		}
+	}
+}
+
+// ExchangeGhosts fills the ghost cells of every patch on a level from
+// overlapping same-level neighbors. All ranks must call it (collective).
+func (d *DataObject) ExchangeGhosts(level int) {
+	lv := d.h.Level(level)
+	var ts []transfer
+	for _, dst := range lv.Patches {
+		g := dst.Box.Grow(d.Ghost)
+		for _, src := range lv.Patches {
+			if src.ID == dst.ID {
+				continue
+			}
+			// Ghost region of dst covered by src's interior.
+			for _, r := range regionsOf(g.Intersect(src.Box), dst.Box) {
+				ts = append(ts, transfer{
+					srcID: src.ID, dstID: dst.ID,
+					srcOwner: src.Owner, dstOwner: dst.Owner,
+					region: r,
+				})
+			}
+		}
+	}
+	d.executeTransfers(ts, d.Local, d.Local)
+}
+
+// regionsOf subtracts the interior from an overlap, leaving the pieces
+// that are genuinely ghost cells of dst.
+func regionsOf(overlap, interior amr.Box) []amr.Box {
+	if overlap.Empty() {
+		return nil
+	}
+	return overlap.Subtract(interior)
+}

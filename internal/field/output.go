@@ -1,0 +1,170 @@
+package field
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"ccahydro/internal/amr"
+)
+
+// Field output: composite-grid samplers and writers for the paper's
+// field figures (temperature frames of Fig 3, the density field of
+// Fig 6). The composite view samples each coarse cell from the finest
+// patch covering it, which is how SAMR plots are drawn.
+
+// CompositeSample flattens one component onto the coarse (level-0)
+// index space: every coarse cell takes the restricted average of the
+// finest data covering it. Only locally owned data contributes; under
+// SCMD each rank writes its own tile set, or the caller gathers first.
+func (d *DataObject) CompositeSample(comp int) ([]float64, amr.Box) {
+	domain := d.h.LevelDomain(0)
+	nx, ny := domain.Size()
+	out := make([]float64, nx*ny)
+	filled := make([]int8, nx*ny) // finest level that wrote each cell, -1 none
+	for i := range filled {
+		filled[i] = -1
+	}
+	idx := func(i, j int) int { return (j-domain.Lo[1])*nx + (i - domain.Lo[0]) }
+
+	for l := 0; l < d.h.NumLevels(); l++ {
+		scale := 1
+		for k := 0; k < l; k++ {
+			scale *= d.h.Ratio
+		}
+		inv := 1.0 / float64(scale*scale)
+		for _, pd := range d.LocalPatches(l) {
+			b := pd.Interior()
+			cbox := b.Coarsen(scale)
+			for cj := cbox.Lo[1]; cj <= cbox.Hi[1]; cj++ {
+				for ci := cbox.Lo[0]; ci <= cbox.Hi[0]; ci++ {
+					if !domain.Contains(ci, cj) {
+						continue
+					}
+					var sum float64
+					count := 0
+					for dj := 0; dj < scale; dj++ {
+						for di := 0; di < scale; di++ {
+							fi, fj := ci*scale+di, cj*scale+dj
+							if b.Contains(fi, fj) {
+								sum += pd.At(comp, fi, fj)
+								count++
+							}
+						}
+					}
+					if count == 0 {
+						continue
+					}
+					k := idx(ci, cj)
+					if int8(l) >= filled[k] {
+						if count == scale*scale {
+							out[k] = sum * inv
+						} else {
+							out[k] = sum / float64(count)
+						}
+						filled[k] = int8(l)
+					}
+				}
+			}
+		}
+	}
+	return out, domain
+}
+
+// WriteCSV writes one component's composite view as comma-separated
+// rows (row per y, increasing), headed by a comment line.
+func (d *DataObject) WriteCSV(w io.Writer, comp int, label string) error {
+	data, domain := d.CompositeSample(comp)
+	nx, ny := domain.Size()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s: %s component %d, %dx%d composite view\n", d.Name, label, comp, nx, ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			if i > 0 {
+				if _, err := bw.WriteString(","); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(bw, "%g", data[j*nx+i]); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString("\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePGM renders one component's composite view as a portable
+// graymap (plain PGM, 8-bit), linearly mapped from [min, max] — a
+// dependency-free way to eyeball the paper's field figures.
+func (d *DataObject) WritePGM(w io.Writer, comp int) error {
+	data, domain := d.CompositeSample(comp)
+	nx, ny := domain.Size()
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 255 / (hi - lo)
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "P2\n%d %d\n255\n", nx, ny)
+	// PGM rows top-to-bottom: flip y so the image is oriented naturally.
+	for j := ny - 1; j >= 0; j-- {
+		for i := 0; i < nx; i++ {
+			v := int((data[j*nx+i] - lo) * scale)
+			if i > 0 {
+				bw.WriteString(" ")
+			}
+			fmt.Fprintf(bw, "%d", v)
+		}
+		bw.WriteString("\n")
+	}
+	return bw.Flush()
+}
+
+// PatchMap renders the hierarchy's patch layout as ASCII art on the
+// coarse index space (digit = finest level covering the cell) — a
+// terminal rendering of the paper's Fig 4 patch-distribution plot.
+func PatchMap(h *amr.Hierarchy, maxWidth int) string {
+	domain := h.LevelDomain(0)
+	nx, _ := domain.Size()
+	step := 1
+	if maxWidth > 0 && nx > maxWidth {
+		step = (nx + maxWidth - 1) / maxWidth
+	}
+	var b []byte
+	for j := domain.Hi[1]; j >= domain.Lo[1]; j -= step {
+		for i := domain.Lo[0]; i <= domain.Hi[0]; i += step {
+			finest := 0
+			for l := 1; l < h.NumLevels(); l++ {
+				scale := 1
+				for k := 0; k < l; k++ {
+					scale *= h.Ratio
+				}
+				covered := false
+				for _, p := range h.Level(l).Patches {
+					if p.Box.Coarsen(scale).Contains(i, j) {
+						covered = true
+						break
+					}
+				}
+				if covered {
+					finest = l
+				}
+			}
+			b = append(b, byte('0'+finest))
+		}
+		b = append(b, '\n')
+	}
+	return string(b)
+}

@@ -1,0 +1,217 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSplitEvenOdd(t *testing.T) {
+	const n = 6
+	var mu sync.Mutex
+	sums := map[int]float64{}
+	Run(n, ZeroModel, func(c *Comm) {
+		color := c.Rank() % 2
+		sub := c.Split(color, c.Rank())
+		if sub == nil {
+			t.Errorf("rank %d got nil sub-communicator", c.Rank())
+			return
+		}
+		if sub.Size() != n/2 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		// Logical ranks are dense 0..size-1 ordered by key.
+		if want := c.Rank() / 2; sub.Rank() != want {
+			t.Errorf("world rank %d: sub rank = %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		// Group-scoped allreduce: evens sum even world ranks, odds odd.
+		got := sub.AllreduceScalar(OpSum, float64(c.Rank()))
+		mu.Lock()
+		sums[color] = got
+		mu.Unlock()
+	})
+	if sums[0] != 0+2+4 || sums[1] != 1+3+5 {
+		t.Errorf("sums = %v", sums)
+	}
+}
+
+func TestSplitNegativeColorExcluded(t *testing.T) {
+	Run(4, ZeroModel, func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("excluded rank got a communicator")
+			}
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		if got := sub.AllreduceScalar(OpSum, 1); got != 3 {
+			t.Errorf("allreduce = %v", got)
+		}
+	})
+}
+
+func TestSplitKeyReordersRanks(t *testing.T) {
+	const n = 4
+	Run(n, ZeroModel, func(c *Comm) {
+		// Reverse order: key = -rank.
+		sub := c.Split(0, -c.Rank())
+		if want := n - 1 - c.Rank(); sub.Rank() != want {
+			t.Errorf("world %d: sub rank %d, want %d", c.Rank(), sub.Rank(), want)
+		}
+		// Point-to-point uses logical ranks: world rank n-1 is logical 0.
+		if sub.Rank() == 0 {
+			sub.Send(1, 5, []float64{42})
+		}
+		if sub.Rank() == 1 {
+			d, st := sub.Recv(0, 5)
+			if d[0] != 42 || st.Source != 0 {
+				t.Errorf("recv = %v from %d", d, st.Source)
+			}
+		}
+	})
+}
+
+func TestSplitIsolatesMessageSpaces(t *testing.T) {
+	// Same (src, dst, tag) on the parent and the child must not cross.
+	Run(2, ZeroModel, func(c *Comm) {
+		sub := c.Split(0, c.Rank())
+		if c.Rank() == 0 {
+			c.Send(1, 9, []float64{1})   // world comm
+			sub.Send(1, 9, []float64{2}) // sub comm
+		} else {
+			dSub, _ := sub.Recv(0, 9)
+			dW, _ := c.Recv(0, 9)
+			if dSub[0] != 2 || dW[0] != 1 {
+				t.Errorf("cross-communicator leak: sub=%v world=%v", dSub[0], dW[0])
+			}
+		}
+	})
+}
+
+func TestDupIndependentSpace(t *testing.T) {
+	Run(2, ZeroModel, func(c *Comm) {
+		d := c.Dup()
+		if d.Size() != c.Size() || d.Rank() != c.Rank() {
+			t.Errorf("dup shape: %d/%d", d.Rank(), d.Size())
+		}
+		if c.Rank() == 0 {
+			d.Send(1, 3, []float64{7})
+		} else {
+			got, _ := d.Recv(0, 3)
+			if got[0] != 7 {
+				t.Errorf("dup recv = %v", got)
+			}
+		}
+	})
+}
+
+func TestSplitBarrierScopedToGroup(t *testing.T) {
+	// A barrier on the even sub-communicator must not wait for odds.
+	Run(4, ZeroModel, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if c.Rank()%2 == 0 {
+			sub.Barrier() // must complete without odd ranks entering any barrier
+		} else {
+			// Odd ranks do unrelated group work.
+			if got := sub.AllreduceScalar(OpSum, 1); got != 2 {
+				t.Errorf("odd allreduce = %v", got)
+			}
+		}
+	})
+}
+
+func TestSplitCollectivesFullSuite(t *testing.T) {
+	// Exercise every collective on a 3-member subgroup of a 5-rank world.
+	Run(5, ZeroModel, func(c *Comm) {
+		color := 0
+		if c.Rank() >= 3 {
+			color = 1
+		}
+		sub := c.Split(color, c.Rank())
+		if color != 0 {
+			return
+		}
+		n := sub.Size() // 3
+		r := sub.Rank()
+		// Bcast.
+		buf := make([]float64, 2)
+		if r == 1 {
+			buf = []float64{5, 6}
+		}
+		got := sub.Bcast(1, buf)
+		if got[0] != 5 || got[1] != 6 {
+			t.Errorf("bcast = %v", got)
+		}
+		// Allgather.
+		all := sub.Allgather([]float64{float64(r)})
+		for i := 0; i < n; i++ {
+			if all[i][0] != float64(i) {
+				t.Errorf("allgather[%d] = %v", i, all[i])
+			}
+		}
+		// Gather + Scatter round trip.
+		rows := sub.Gather(0, []float64{float64(r * 10)})
+		var chunks [][]float64
+		if r == 0 {
+			chunks = rows
+		}
+		back := sub.Scatter(0, chunks)
+		if back[0] != float64(r*10) {
+			t.Errorf("scatter = %v", back)
+		}
+	})
+}
+
+func TestNestedSplit(t *testing.T) {
+	// Split a split: quadrant communicators from row communicators.
+	Run(4, ZeroModel, func(c *Comm) {
+		row := c.Split(c.Rank()/2, c.Rank())
+		cell := row.Split(row.Rank(), 0)
+		if cell.Size() != 1 || cell.Rank() != 0 {
+			t.Errorf("cell = %d/%d", cell.Rank(), cell.Size())
+		}
+		if got := cell.AllreduceScalar(OpSum, float64(c.Rank())); got != float64(c.Rank()) {
+			t.Errorf("singleton allreduce = %v", got)
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	const n = 4
+	Run(n, ZeroModel, func(c *Comm) {
+		chunks := make([][]float64, n)
+		for dst := 0; dst < n; dst++ {
+			chunks[dst] = []float64{float64(c.Rank()*10 + dst)}
+		}
+		out := c.Alltoall(chunks)
+		for src := 0; src < n; src++ {
+			want := float64(src*10 + c.Rank())
+			if out[src][0] != want {
+				t.Errorf("rank %d from %d: %v, want %v", c.Rank(), src, out[src][0], want)
+			}
+		}
+	})
+}
+
+func TestAlltoallOnSubComm(t *testing.T) {
+	Run(4, ZeroModel, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		n := sub.Size()
+		chunks := make([][]float64, n)
+		for d := 0; d < n; d++ {
+			chunks[d] = []float64{float64(sub.Rank()*100 + d)}
+		}
+		out := sub.Alltoall(chunks)
+		for src := 0; src < n; src++ {
+			if want := float64(src*100 + sub.Rank()); out[src][0] != want {
+				t.Errorf("sub rank %d: from %d = %v, want %v", sub.Rank(), src, out[src][0], want)
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package rkc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestCombineNormHook verifies that the SPMD norm hook is consulted and
+// controls acceptance: a hook that reports a huge combined norm must
+// force error-test failures (visible in the stats), while the identity
+// hook reproduces the serial result exactly.
+func TestCombineNormHook(t *testing.T) {
+	mk := func(hook func(s, n float64) (float64, float64)) *Solver {
+		s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -y[0] },
+			func(_ float64, _ []float64) float64 { return 1 },
+			Options{RelTol: 1e-6, AbsTol: 1e-9, CombineNorm: hook})
+		s.Init(0, []float64{1})
+		return s
+	}
+	// Identity hook: same answer as no hook.
+	plain := mk(nil)
+	if err := plain.Integrate(1); err != nil {
+		t.Fatal(err)
+	}
+	ident := mk(func(s, n float64) (float64, float64) { return s, n })
+	if err := ident.Integrate(1); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Y()[0] != ident.Y()[0] {
+		t.Errorf("identity hook changed the result: %v vs %v", plain.Y()[0], ident.Y()[0])
+	}
+	// Inflating hook: many more steps (the controller sees big errors).
+	inflate := mk(func(s, n float64) (float64, float64) { return s * 1e4, n })
+	if err := inflate.Integrate(1); err != nil {
+		t.Fatal(err)
+	}
+	if inflate.Stats().Steps <= plain.Stats().Steps {
+		t.Errorf("inflated norm did not shrink steps: %d vs %d",
+			inflate.Stats().Steps, plain.Stats().Steps)
+	}
+}
+
+// TestZeroDimensionalRank models an SCMD rank that owns no cells: the
+// solver must still run (driven by the combined norm) without dividing
+// by zero.
+func TestZeroDimensionalRank(t *testing.T) {
+	calls := 0
+	s := New(0, func(_ float64, _, _ []float64) { calls++ },
+		func(_ float64, _ []float64) float64 { return 1 },
+		Options{RelTol: 1e-6, AbsTol: 1e-9,
+			CombineNorm: func(sum, n float64) (float64, float64) {
+				// Pretend the cohort contributed some well-behaved error.
+				return sum + 1e-14, n + 10
+			}})
+	s.Init(0, nil)
+	if err := s.Integrate(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("empty rank never evaluated (cohort lockstep broken)")
+	}
+}
+
+func TestMaxStepRespected(t *testing.T) {
+	s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -y[0] },
+		func(_ float64, _ []float64) float64 { return 1 },
+		Options{RelTol: 1e-3, AbsTol: 1e-6, MaxStep: 1e-2})
+	s.Init(0, []float64{1})
+	for i := 0; i < 20; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats().LastStep > 1e-2+1e-15 {
+			t.Fatalf("step %v exceeded MaxStep", s.Stats().LastStep)
+		}
+	}
+}
+
+// Property-flavored: RKC preserves the discrete maximum principle on
+// the heat equation (no new extrema) for smooth initial data.
+func TestMaximumPrinciple(t *testing.T) {
+	n := 63
+	dx := 1.0 / float64(n+1)
+	f, rho := heatRHS(n, 0.3, dx)
+	s := New(n, f, rho, Options{RelTol: 1e-6, AbsTol: 1e-9})
+	y0 := make([]float64, n)
+	for i := range y0 {
+		y0[i] = math.Sin(math.Pi*float64(i+1)*dx) + 0.3*math.Sin(3*math.Pi*float64(i+1)*dx)
+	}
+	var y0max float64
+	for _, v := range y0 {
+		if v > y0max {
+			y0max = v
+		}
+	}
+	s.Init(0, y0)
+	for k := 0; k < 10; k++ {
+		if err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range s.Y() {
+			if v > y0max+1e-8 || v < -1e-8 {
+				t.Fatalf("step %d: y[%d] = %v violates max principle (max %v)", k, i, v, y0max)
+			}
+		}
+	}
+}

@@ -1,0 +1,205 @@
+package rkc
+
+import (
+	"math"
+	"testing"
+)
+
+func almost(a, b, rel float64) bool {
+	return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))+1e-300
+}
+
+func TestScalarDecay(t *testing.T) {
+	s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -3 * y[0] },
+		func(_ float64, _ []float64) float64 { return 3 },
+		Options{RelTol: 1e-6, AbsTol: 1e-10})
+	s.Init(0, []float64{2})
+	if err := s.Integrate(1); err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * math.Exp(-3)
+	if !almost(s.Y()[0], want, 1e-4) {
+		t.Errorf("y(1) = %v, want %v", s.Y()[0], want)
+	}
+}
+
+// heatRHS builds the standard 1D Laplacian ODE system on n interior
+// points with homogeneous Dirichlet BCs, spacing dx.
+func heatRHS(n int, d, dx float64) (RHS, SpectralRadius) {
+	inv := d / (dx * dx)
+	f := func(_ float64, y, ydot []float64) {
+		for i := 0; i < n; i++ {
+			var left, right float64
+			if i > 0 {
+				left = y[i-1]
+			}
+			if i < n-1 {
+				right = y[i+1]
+			}
+			ydot[i] = inv * (left - 2*y[i] + right)
+		}
+	}
+	rho := func(_ float64, _ []float64) float64 { return 4 * inv }
+	return f, rho
+}
+
+func TestHeatEquationSineModeDecay(t *testing.T) {
+	// u_t = D u_xx on (0,1), u(0)=u(1)=0, u0 = sin(pi x): the first
+	// Fourier mode decays like exp(-D pi^2 t) (up to the discrete
+	// eigenvalue, which we use exactly).
+	n := 63
+	dx := 1.0 / float64(n+1)
+	d := 0.1
+	f, rho := heatRHS(n, d, dx)
+	s := New(n, f, rho, Options{RelTol: 1e-7, AbsTol: 1e-10})
+	y0 := make([]float64, n)
+	for i := range y0 {
+		y0[i] = math.Sin(math.Pi * float64(i+1) * dx)
+	}
+	s.Init(0, y0)
+	tEnd := 0.5
+	if err := s.Integrate(tEnd); err != nil {
+		t.Fatal(err)
+	}
+	// Discrete eigenvalue of the first mode.
+	lam := 4 * d / (dx * dx) * math.Pow(math.Sin(math.Pi*dx/2), 2)
+	decay := math.Exp(-lam * tEnd)
+	for i := 0; i < n; i += 13 {
+		want := y0[i] * decay
+		if !almost(s.Y()[i], want, 2e-3) {
+			t.Errorf("y[%d] = %v, want %v", i, s.Y()[i], want)
+		}
+	}
+}
+
+func TestStageCountScalesWithStiffness(t *testing.T) {
+	// Larger spectral radius must not shrink steps to explicit-Euler
+	// scale; RKC adds stages instead.
+	n := 127
+	dx := 1.0 / float64(n+1)
+	f, rho := heatRHS(n, 1.0, dx)
+	s := New(n, f, rho, Options{RelTol: 1e-5, AbsTol: 1e-8})
+	y0 := make([]float64, n)
+	for i := range y0 {
+		y0[i] = math.Sin(math.Pi * float64(i+1) * dx)
+	}
+	s.Init(0, y0)
+	if err := s.Integrate(0.01); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	// Explicit Euler would need h <= dx^2/2 ≈ 3e-5, i.e. >300 steps.
+	if st.Steps > 150 {
+		t.Errorf("steps = %d; RKC should take far fewer than Euler's ~330", st.Steps)
+	}
+	if st.LastStages < 3 {
+		t.Errorf("stages = %d; stiff problem should use many stages", st.LastStages)
+	}
+}
+
+func TestSecondOrderConvergence(t *testing.T) {
+	// Fixed-step error should drop ~4x when the step is halved.
+	run := func(h float64) float64 {
+		s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -y[0] * y[0] },
+			func(_ float64, y []float64) float64 { return 2 * math.Abs(y[0]) },
+			Options{RelTol: 1e30, AbsTol: 1e30, InitialStep: h, MaxStep: h})
+		s.Init(0, []float64{1})
+		for s.T() < 1-1e-12 {
+			if err := s.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		want := 1.0 / (1 + s.T())
+		return math.Abs(s.Y()[0] - want)
+	}
+	e1 := run(0.05)
+	e2 := run(0.025)
+	ratio := e1 / e2
+	if ratio < 3.0 || ratio > 5.5 {
+		t.Errorf("convergence ratio = %v, want ~4 (order 2)", ratio)
+	}
+}
+
+func TestPowerIterationFallback(t *testing.T) {
+	// No spectral radius supplied: the power iteration must still
+	// stabilize a moderately stiff linear problem.
+	n := 31
+	dx := 1.0 / float64(n+1)
+	f, _ := heatRHS(n, 0.5, dx)
+	s := New(n, f, nil, Options{RelTol: 1e-5, AbsTol: 1e-9})
+	y0 := make([]float64, n)
+	for i := range y0 {
+		y0[i] = math.Sin(math.Pi * float64(i+1) * dx)
+	}
+	s.Init(0, y0)
+	if err := s.Integrate(0.05); err != nil {
+		t.Fatal(err)
+	}
+	lam := 4 * 0.5 / (dx * dx) * math.Pow(math.Sin(math.Pi*dx/2), 2)
+	decay := math.Exp(-lam * 0.05)
+	mid := n / 2
+	if !almost(s.Y()[mid], y0[mid]*decay, 5e-3) {
+		t.Errorf("y[mid] = %v, want %v", s.Y()[mid], y0[mid]*decay)
+	}
+}
+
+func TestToleranceControlsErrorRKC(t *testing.T) {
+	run := func(rtol float64) float64 {
+		s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -2 * y[0] },
+			func(_ float64, _ []float64) float64 { return 2 },
+			Options{RelTol: rtol, AbsTol: rtol * 1e-4})
+		s.Init(0, []float64{1})
+		if err := s.Integrate(1); err != nil {
+			t.Fatal(err)
+		}
+		return math.Abs(s.Y()[0] - math.Exp(-2))
+	}
+	if eT, eL := run(1e-8), run(1e-3); eT >= eL {
+		t.Errorf("tight %v >= loose %v", eT, eL)
+	}
+}
+
+func TestIntegrateBackwardRejected(t *testing.T) {
+	s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = 1 }, nil, Options{})
+	s.Init(5, []float64{0})
+	if err := s.Integrate(1); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestMaxStepsEnforced(t *testing.T) {
+	s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -y[0] },
+		func(_ float64, _ []float64) float64 { return 1 },
+		Options{MaxSteps: 2, MaxStep: 1e-6})
+	s.Init(0, []float64{1})
+	if err := s.Integrate(1); err != ErrTooMuchWork {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestStagesFormula(t *testing.T) {
+	// h*rho = 0.653 s^2 boundary.
+	if s := stages(1, 0.653*16, 512); s < 5 || s > 6 {
+		t.Errorf("stages = %d, want ~5", s)
+	}
+	if s := stages(1e-9, 1, 512); s != 2 {
+		t.Errorf("min stages = %d, want 2", s)
+	}
+	if s := stages(1, 1e12, 64); s != 64 {
+		t.Errorf("capped stages = %d, want 64", s)
+	}
+}
+
+func TestStatsPopulatedRKC(t *testing.T) {
+	s := New(1, func(_ float64, y, ydot []float64) { ydot[0] = -y[0] },
+		func(_ float64, _ []float64) float64 { return 1 },
+		Options{})
+	s.Init(0, []float64{1})
+	if err := s.Integrate(1); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Steps == 0 || st.RHSEvals == 0 || st.StageTotal == 0 || st.LastStep <= 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
