@@ -28,6 +28,7 @@ package cca
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ccahydro/internal/mpi"
 )
@@ -134,6 +135,11 @@ type instance struct {
 	uses      map[string]*usesEntry
 	params    *TypeMap
 	fw        *Framework
+	// mu guards the mutable fields of uses entries (conn, fetches).
+	// GetPort/ReleasePort may be called from parallel worker goroutines
+	// while kernels run, so the reference counting must be atomic with
+	// respect to Connect/Disconnect.
+	mu sync.Mutex
 }
 
 var _ Services = (*instance)(nil)
@@ -171,6 +177,8 @@ func (in *instance) GetPort(name string) (Port, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: uses %q on %q", ErrPortNotFound, name, in.name)
 	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
 	if u.conn == nil {
 		return nil, fmt.Errorf("%w: %q on %q", ErrPortNotConnected, name, in.name)
 	}
@@ -179,8 +187,12 @@ func (in *instance) GetPort(name string) (Port, error) {
 }
 
 func (in *instance) ReleasePort(name string) {
-	if u, ok := in.uses[name]; ok && u.fetches > 0 {
-		u.fetches--
+	if u, ok := in.uses[name]; ok {
+		in.mu.Lock()
+		if u.fetches > 0 {
+			u.fetches--
+		}
+		in.mu.Unlock()
 	}
 }
 
@@ -289,6 +301,8 @@ func (f *Framework) Connect(user, usesPort, provider, providesPort string) error
 	if !ok {
 		return fmt.Errorf("%w: provides %q on %q", ErrPortNotFound, providesPort, provider)
 	}
+	ui.mu.Lock()
+	defer ui.mu.Unlock()
 	if u.conn != nil {
 		return fmt.Errorf("%w: %q.%q", ErrAlreadyConnected, user, usesPort)
 	}
@@ -316,6 +330,8 @@ func (f *Framework) Disconnect(user, usesPort string) error {
 	if !ok {
 		return fmt.Errorf("%w: uses %q on %q", ErrPortNotFound, usesPort, user)
 	}
+	ui.mu.Lock()
+	defer ui.mu.Unlock()
 	if u.conn == nil {
 		return fmt.Errorf("%w: %q.%q", ErrPortNotConnected, user, usesPort)
 	}

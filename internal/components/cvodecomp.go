@@ -1,6 +1,8 @@
 package components
 
 import (
+	"sync"
+
 	"ccahydro/internal/cca"
 	"ccahydro/internal/cvode"
 )
@@ -16,8 +18,13 @@ type CvodeComponent struct {
 	dim    int
 	rtol   float64
 	atol   float64
-	// accumulated stats across calls
-	total cvode.Stats
+	// accumulated stats across calls; guarded by statsMu because
+	// worker integrators report from pool goroutines.
+	statsMu sync.Mutex
+	total   cvode.Stats
+	// workers holds per-worker-slot integrator instances (see
+	// WorkerIntegrator); rebuilt when the pool width changes.
+	workers []*workerIntegrator
 }
 
 // SetServices implements cca.Component.
@@ -70,12 +77,66 @@ func (cc *CvodeComponent) IntegrateTo(t0, t1 float64, y []float64) (cvode.Stats,
 	}
 	copy(y, cc.solver.Y())
 	st := cc.solver.Stats()
+	cc.addStats(st)
+	return st, nil
+}
+
+func (cc *CvodeComponent) addStats(st cvode.Stats) {
+	cc.statsMu.Lock()
 	cc.total.Steps += st.Steps
 	cc.total.RHSEvals += st.RHSEvals
 	cc.total.JacEvals += st.JacEvals
 	cc.total.NewtonIters += st.NewtonIters
+	cc.statsMu.Unlock()
+}
+
+// TotalStats reports work accumulated over all IntegrateTo calls,
+// including those made through worker integrators.
+func (cc *CvodeComponent) TotalStats() cvode.Stats {
+	cc.statsMu.Lock()
+	defer cc.statsMu.Unlock()
+	return cc.total
+}
+
+// workerIntegrator is one worker slot's private solver. Each slot owns
+// its own cvode.Solver, so cell integrations on different workers never
+// share state; Init fully resets the solver, so results are identical
+// to the shared-solver serial path.
+type workerIntegrator struct {
+	cc     *CvodeComponent
+	solver *cvode.Solver
+	dim    int
+}
+
+var _ ImplicitIntegratorPort = (*workerIntegrator)(nil)
+
+func (wi *workerIntegrator) IntegrateTo(t0, t1 float64, y []float64) (cvode.Stats, error) {
+	if wi.solver == nil || wi.dim != len(y) {
+		wi.dim = len(y)
+		rhs := wi.cc.rhsPort()
+		wi.solver = cvode.New(wi.dim, func(t float64, y, ydot []float64) { rhs.Eval(t, y, ydot) },
+			cvode.Options{RelTol: wi.cc.rtol, AbsTol: wi.cc.atol})
+	}
+	wi.solver.Init(t0, y)
+	if err := wi.solver.Integrate(t1); err != nil {
+		return wi.solver.Stats(), err
+	}
+	copy(y, wi.solver.Y())
+	st := wi.solver.Stats()
+	wi.cc.addStats(st)
 	return st, nil
 }
 
-// TotalStats reports work accumulated over all IntegrateTo calls.
-func (cc *CvodeComponent) TotalStats() cvode.Stats { return cc.total }
+// WorkerIntegrator implements WorkerIntegratorPort: a private
+// integrator per worker slot so per-cell chemistry can fan out across a
+// pool. Call it serially (before launching the parallel loop);
+// instances persist across calls with the same width.
+func (cc *CvodeComponent) WorkerIntegrator(w, width int) ImplicitIntegratorPort {
+	if len(cc.workers) != width {
+		cc.workers = make([]*workerIntegrator, width)
+	}
+	if cc.workers[w] == nil {
+		cc.workers[w] = &workerIntegrator{cc: cc}
+	}
+	return cc.workers[w]
+}

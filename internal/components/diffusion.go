@@ -1,6 +1,8 @@
 package components
 
 import (
+	"sync"
+
 	"ccahydro/internal/cca"
 	"ccahydro/internal/chem"
 	"ccahydro/internal/field"
@@ -13,7 +15,14 @@ import (
 // parameter must match the ThermoChemistry instance it serves.
 type DRFMComponent struct {
 	model *transport.Model
+	// scratch recycles the X/D work vectors of MaxDiffusivity, which is
+	// called per cell per CFL check — previously two fresh slices per
+	// call. A sync.Pool keeps the port safe for concurrent callers.
+	scratch sync.Pool
 }
+
+// drfmScratch is one caller's mole-fraction/diffusivity work pair.
+type drfmScratch struct{ X, D []float64 }
 
 // SetServices implements cca.Component.
 func (dc *DRFMComponent) SetServices(svc cca.Services) error {
@@ -23,6 +32,10 @@ func (dc *DRFMComponent) SetServices(svc cca.Services) error {
 		return err
 	}
 	dc.model = transport.New(m)
+	n := m.NumSpecies()
+	dc.scratch.New = func() any {
+		return &drfmScratch{X: make([]float64, n), D: make([]float64, n)}
+	}
 	return svc.AddProvidesPort(dc, "transport", TransportPortType)
 }
 
@@ -35,16 +48,15 @@ func (dc *DRFMComponent) Properties(T, P float64, Y, X, D []float64) (float64, f
 // diffusivities and thermal diffusivity at the state.
 func (dc *DRFMComponent) MaxDiffusivity(T, P float64, Y []float64) float64 {
 	mech := dc.model.Mechanism()
-	n := mech.NumSpecies()
-	X := make([]float64, n)
-	D := make([]float64, n)
-	lam, rho := dc.model.Evaluate(T, P, Y, X, D)
+	ws := dc.scratch.Get().(*drfmScratch)
+	lam, rho := dc.model.Evaluate(T, P, Y, ws.X, ws.D)
 	maxD := lam / (rho * mech.CpMass(T, Y))
-	for _, d := range D {
+	for _, d := range ws.D {
 		if d > maxD {
 			maxD = d
 		}
 	}
+	dc.scratch.Put(ws)
 	return maxD
 }
 
@@ -59,10 +71,43 @@ type DiffusionPhysics struct {
 	svc cca.Services
 	p0  float64
 
-	// Per-call scratch, sized on first use.
-	nsp        int
-	xs, ds     []float64
-	lamF, rhoF []float64 // per-cell lambda and rho caches for a row? (kept simple)
+	// Ports resolve once (CCA: a connection is an interface value; a
+	// call is one dispatch) so concurrent EvalPatch calls skip the
+	// framework entirely.
+	portsOnce sync.Once
+	tp        TransportPort
+	cp        ChemistryPort
+
+	// scratch recycles one patch evaluation's work arrays. EvalPatch is
+	// reachable from several concurrent jobs (patch fan-out, and nested
+	// loops under it), so the component must not hold mutable state —
+	// each call draws a private scratch from the pool.
+	scratch sync.Pool // of *diffScratch
+}
+
+// diffScratch is one EvalPatch call's working set: composition vectors
+// plus the per-cell property cache, with all rhoD slices carved out of
+// one backing array (the seed allocated a fresh slice per cell).
+type diffScratch struct {
+	xs, ds, Y []float64
+	props     []cellProps
+	rhoD      []float64
+}
+
+func (ds *diffScratch) size(nsp, ncells int) {
+	if len(ds.xs) != nsp {
+		ds.xs = make([]float64, nsp)
+		ds.ds = make([]float64, nsp)
+		ds.Y = make([]float64, nsp)
+	}
+	if cap(ds.props) < ncells {
+		ds.props = make([]cellProps, ncells)
+		ds.rhoD = make([]float64, ncells*nsp)
+	}
+	ds.props = ds.props[:ncells]
+	for c := 0; c < ncells; c++ {
+		ds.props[c].rhoD = ds.rhoD[c*nsp : (c+1)*nsp]
+	}
 }
 
 // SetServices implements cca.Component.
@@ -79,17 +124,20 @@ func (dp *DiffusionPhysics) SetServices(svc cca.Services) error {
 }
 
 func (dp *DiffusionPhysics) ports() (TransportPort, ChemistryPort) {
-	tp, err := dp.svc.GetPort("transport")
-	if err != nil {
-		panic(err)
-	}
-	dp.svc.ReleasePort("transport")
-	cp, err := dp.svc.GetPort("chemistry")
-	if err != nil {
-		panic(err)
-	}
-	dp.svc.ReleasePort("chemistry")
-	return tp.(TransportPort), cp.(ChemistryPort)
+	dp.portsOnce.Do(func() {
+		tp, err := dp.svc.GetPort("transport")
+		if err != nil {
+			panic(err)
+		}
+		dp.svc.ReleasePort("transport")
+		cp, err := dp.svc.GetPort("chemistry")
+		if err != nil {
+			panic(err)
+		}
+		dp.svc.ReleasePort("chemistry")
+		dp.tp, dp.cp = tp.(TransportPort), cp.(ChemistryPort)
+	})
+	return dp.tp, dp.cp
 }
 
 // cellProps evaluates (lambda, rho*D_i, rho, cp) at a cell.
@@ -101,25 +149,25 @@ type cellProps struct {
 }
 
 // EvalPatch implements PatchRHSPort. pd holds [T, Y...] with ghosts
-// filled; out receives dPhi/dt on the interior.
+// filled; out receives dPhi/dt on the interior. Safe for concurrent
+// calls on different patches.
 func (dp *DiffusionPhysics) EvalPatch(pd, out *field.PatchData, dx, dy float64) {
 	tp, cp := dp.ports()
 	mech := cp.Mechanism()
 	nsp := mech.NumSpecies()
-	if dp.nsp != nsp {
-		dp.nsp = nsp
-		dp.xs = make([]float64, nsp)
-		dp.ds = make([]float64, nsp)
-	}
 	b := pd.Interior()
 	g := b.Grow(1)
 
 	// Evaluate properties on the interior grown by one (the stencil
 	// support), caching by cell.
 	nxg, nyg := g.Size()
-	props := make([]cellProps, nxg*nyg)
+	ws, _ := dp.scratch.Get().(*diffScratch)
+	if ws == nil {
+		ws = &diffScratch{}
+	}
+	ws.size(nsp, nxg*nyg)
+	props, Y := ws.props, ws.Y
 	idx := func(i, j int) int { return (j-g.Lo[1])*nxg + (i - g.Lo[0]) }
-	Y := make([]float64, nsp)
 	for j := g.Lo[1]; j <= g.Hi[1]; j++ {
 		for i := g.Lo[0]; i <= g.Hi[0]; i++ {
 			T := pd.At(0, i, j)
@@ -130,12 +178,12 @@ func (dp *DiffusionPhysics) EvalPatch(pd, out *field.PatchData, dx, dy float64) 
 				Y[k] = pd.At(1+k, i, j)
 			}
 			chem.NormalizeY(Y)
-			lam, rho := tp.Properties(T, dp.p0, Y, dp.xs, dp.ds)
-			pr := cellProps{lam: lam, rho: rho, cp: mech.CpMass(T, Y), rhoD: make([]float64, nsp)}
+			lam, rho := tp.Properties(T, dp.p0, Y, ws.xs, ws.ds)
+			pr := &props[idx(i, j)]
+			pr.lam, pr.rho, pr.cp = lam, rho, mech.CpMass(T, Y)
 			for k := 0; k < nsp; k++ {
-				pr.rhoD[k] = rho * dp.ds[k]
+				pr.rhoD[k] = rho * ws.ds[k]
 			}
-			props[idx(i, j)] = pr
 		}
 	}
 
@@ -168,6 +216,7 @@ func (dp *DiffusionPhysics) EvalPatch(pd, out *field.PatchData, dx, dy float64) 
 			}
 		}
 	}
+	dp.scratch.Put(ws)
 }
 
 // MaxDiffCoeffEvaluator scans the field for the largest diffusion
@@ -186,6 +235,9 @@ func (me *MaxDiffCoeffEvaluator) SetServices(svc cca.Services) error {
 		return err
 	}
 	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	if err := registerExecPort(svc); err != nil {
 		return err
 	}
 	return svc.AddProvidesPort(me, "maxEigen", SpectralRadiusPortType)
@@ -207,33 +259,60 @@ func (me *MaxDiffCoeffEvaluator) MaxEigen(mesh MeshPort, name string) float64 {
 	}
 	me.svc.ReleasePort("chemistry")
 	mech := cp.(ChemistryPort).Mechanism()
+	tport := tp.(TransportPort)
 	nsp := mech.NumSpecies()
-	Y := make([]float64, nsp)
 
+	// Flatten (level, patch) pairs and fan the scans out: each patch
+	// reduces to a private partial maximum (max is order-independent, so
+	// the parallel fold is bit-for-bit the serial result).
 	d := mesh.Field(name)
 	h := d.Hierarchy()
-	var maxEig float64
+	type scanItem struct {
+		pd   *field.PatchData
+		geom float64
+	}
+	var items []scanItem
 	for l := 0; l < h.NumLevels(); l++ {
 		dx, dy := mesh.Spacing(l)
 		geom := 4 * (1/(dx*dx) + 1/(dy*dy))
 		for _, pd := range d.LocalPatches(l) {
-			b := pd.Interior()
-			for j := b.Lo[1]; j <= b.Hi[1]; j += 4 {
-				for i := b.Lo[0]; i <= b.Hi[0]; i += 4 {
-					T := pd.At(0, i, j)
-					if T < 150 {
-						T = 150
-					}
-					for k := 0; k < nsp; k++ {
-						Y[k] = pd.At(1+k, i, j)
-					}
-					chem.NormalizeY(Y)
-					dmax := tp.(TransportPort).MaxDiffusivity(T, me.p0, Y)
-					if e := dmax * geom; e > maxEig {
-						maxEig = e
-					}
+			items = append(items, scanItem{pd, geom})
+		}
+	}
+	pool := optionalPool(me.svc)
+	partial := make([]float64, len(items))
+	ys := make([][]float64, pool.Width())
+	pool.ForEach(len(items), func(w, n int) {
+		Y := ys[w]
+		if Y == nil {
+			Y = make([]float64, nsp)
+			ys[w] = Y
+		}
+		it := items[n]
+		b := it.pd.Interior()
+		var m float64
+		for j := b.Lo[1]; j <= b.Hi[1]; j += 4 {
+			for i := b.Lo[0]; i <= b.Hi[0]; i += 4 {
+				T := it.pd.At(0, i, j)
+				if T < 150 {
+					T = 150
+				}
+				for k := 0; k < nsp; k++ {
+					Y[k] = it.pd.At(1+k, i, j)
+				}
+				chem.NormalizeY(Y)
+				dmax := tport.MaxDiffusivity(T, me.p0, Y)
+				if e := dmax * it.geom; e > m {
+					m = e
 				}
 			}
+		}
+		partial[n] = m
+	})
+	var maxEig float64
+	for _, m := range partial {
+		if m > maxEig {
+			maxEig = m
 		}
 	}
 	if comm := me.svc.Comm(); comm != nil && comm.Size() > 1 {

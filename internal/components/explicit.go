@@ -26,6 +26,21 @@ const mpiOpMax = mpi.OpMax
 // "in a synchronized manner".
 type ExplicitIntegrator struct {
 	svc cca.Services
+	// cache holds per-level integration scratch (RHS patches, flat
+	// vectors, the RKC solver) so repeated AdvanceLevel calls on an
+	// unchanged hierarchy allocate nothing; invalidated by regrids
+	// through patch-identity comparison.
+	cache map[int]*eiLevelCache
+}
+
+// eiLevelCache is one level's reusable integration state.
+type eiLevelCache struct {
+	patches []*field.PatchData
+	rhsData []*field.PatchData
+	offs    []int // flat-vector offset of each patch's block
+	lv      *levelVector
+	solver  *rkc.Solver
+	y0      []float64
 }
 
 // SetServices implements cca.Component.
@@ -37,7 +52,24 @@ func (ei *ExplicitIntegrator) SetServices(svc cca.Services) error {
 	if err := svc.RegisterUsesPort("maxEigen", SpectralRadiusPortType); err != nil {
 		return err
 	}
+	if err := registerExecPort(svc); err != nil {
+		return err
+	}
 	return svc.AddProvidesPort(ei, "integrator", ExplicitIntegratorType)
+}
+
+// samePatches reports whether the cached patch list is still the live
+// one (patch data pointers are stable between regrids).
+func samePatches(a, b []*field.PatchData) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (ei *ExplicitIntegrator) port(name string) cca.Port {
@@ -103,7 +135,43 @@ func (lv *levelVector) scatter(in []float64) {
 	}
 }
 
-// AdvanceLevel implements ExplicitIntegratorPort.
+// scatterPatch writes patch p's block of the flat vector (starting at
+// offset o) into the patch interior. Blocks are disjoint, so patches
+// scatter in parallel.
+func (lv *levelVector) scatterPatch(p, o int, in []float64) {
+	pd := lv.patches[p]
+	b := pd.Interior()
+	for c := 0; c < lv.ncomp; c++ {
+		for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+			for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+				pd.Set(c, i, j, in[o])
+				o++
+			}
+		}
+	}
+}
+
+// gatherFrom reads src's interior (any patch data over the same box as
+// patch p) into the flat vector at offset o.
+func (lv *levelVector) gatherFrom(p, o int, src *field.PatchData, out []float64) {
+	b := lv.patches[p].Interior()
+	for c := 0; c < lv.ncomp; c++ {
+		for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+			for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+				out[o] = src.At(c, i, j)
+				o++
+			}
+		}
+	}
+}
+
+// AdvanceLevel implements ExplicitIntegratorPort. Each RHS evaluation
+// performs the collective ghost protocol serially (the cohort must stay
+// synchronized), then fans the independent per-patch EvalPatch calls
+// and the ydot gather out over the execution pool — patches read their
+// own ghost-padded arrays and write their own disjoint blocks of the
+// flat vector, so the parallel sweep is race-free and, because block
+// offsets are fixed, bit-for-bit identical to the serial sweep.
 func (ei *ExplicitIntegrator) AdvanceLevel(mesh MeshPort, name string, level int, t0, t1 float64) error {
 	rhsPort := ei.port("patchRHS").(PatchRHSPort)
 	eigPort := ei.port("maxEigen").(SpectralRadiusPort)
@@ -111,38 +179,43 @@ func (ei *ExplicitIntegrator) AdvanceLevel(mesh MeshPort, name string, level int
 	gc, isGrace := meshAsGrace(mesh)
 	patches := d.LocalPatches(level)
 	dx, dy := mesh.Spacing(level)
-	lv := newLevelVector(patches, d.NComp)
-	dim := lv.dim()
 	comm := ei.svc.Comm()
+	pool := optionalPool(ei.svc)
 
-	// Scratch RHS patches, one per local patch.
-	rhsData := make([]*field.PatchData, len(patches))
-	for i, pd := range patches {
-		rhsData[i] = field.NewPatchData(pd.Patch, d.NComp, d.Ghost)
+	if ei.cache == nil {
+		ei.cache = make(map[int]*eiLevelCache)
 	}
+	lc := ei.cache[level]
+	if lc == nil || !samePatches(lc.patches, patches) {
+		lc = &eiLevelCache{patches: patches}
+		lc.lv = newLevelVector(patches, d.NComp)
+		lc.rhsData = make([]*field.PatchData, len(patches))
+		lc.offs = make([]int, len(patches))
+		o := 0
+		for i, pd := range patches {
+			lc.rhsData[i] = field.NewPatchData(pd.Patch, d.NComp, d.Ghost)
+			lc.offs[i] = o
+			o += lc.lv.sizes[i]
+		}
+		lc.y0 = make([]float64, lc.lv.dim())
+		ei.cache[level] = lc
+	}
+	lv := lc.lv
+	dim := lv.dim()
 
-	evals := 0
 	f := func(_ float64, y, ydot []float64) {
-		lv.scatter(y)
+		pool.ForEach(len(patches), func(_, i int) {
+			lv.scatterPatch(i, lc.offs[i], y)
+		})
 		if isGrace {
 			gc.FillAllGhosts(name, level)
 		} else {
 			d.ExchangeGhosts(level)
 		}
-		o := 0
-		for i, pd := range patches {
-			rhsPort.EvalPatch(pd, rhsData[i], dx, dy)
-			b := pd.Interior()
-			for c := 0; c < d.NComp; c++ {
-				for j := b.Lo[1]; j <= b.Hi[1]; j++ {
-					for ii := b.Lo[0]; ii <= b.Hi[0]; ii++ {
-						ydot[o] = rhsData[i].At(c, ii, j)
-						o++
-					}
-				}
-			}
-		}
-		evals++
+		pool.ForEach(len(patches), func(_, i int) {
+			rhsPort.EvalPatch(patches[i], lc.rhsData[i], dx, dy)
+			lv.gatherFrom(i, lc.offs[i], lc.rhsData[i], ydot)
+		})
 	}
 
 	// MaxEigen is allreduced inside the port, so the spectral radius —
@@ -168,10 +241,15 @@ func (ei *ExplicitIntegrator) AdvanceLevel(mesh MeshPort, name string, level int
 			return out[0], out[1]
 		}
 	}
-	s := rkc.New(dim, f, rho, opt)
-	y0 := make([]float64, dim)
-	lv.gather(y0)
-	s.Init(t0, y0)
+	if lc.solver == nil || lc.solver.N() != dim {
+		lc.solver = rkc.New(dim, f, rho, opt)
+	} else {
+		lc.solver.SetProblem(f, rho)
+		lc.solver.Reconfigure(opt)
+	}
+	s := lc.solver
+	lv.gather(lc.y0)
+	s.Init(t0, lc.y0)
 	if err := s.Integrate(t1); err != nil {
 		return fmt.Errorf("ExplicitIntegrator level %d: %w", level, err)
 	}

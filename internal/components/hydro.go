@@ -2,6 +2,7 @@ package components
 
 import (
 	"math"
+	"sync"
 
 	"ccahydro/internal/cca"
 	"ccahydro/internal/euler"
@@ -83,6 +84,11 @@ func (ef *EFMFluxComp) Flux(g euler.Gas, l, r euler.Primitive) euler.Conserved {
 // connected flux component for the solution (paper Sec. 4.3).
 type InviscidFlux struct {
 	svc cca.Services
+	// The assembled solver resolves once: ports are interface values
+	// after connection, and concurrent EvalPatch calls (the integrator
+	// fans patches out) must not mutate component state.
+	once   sync.Once
+	solved euler.Solver
 }
 
 // SetServices implements cca.Component.
@@ -97,39 +103,48 @@ func (iv *InviscidFlux) SetServices(svc cca.Services) error {
 			return err
 		}
 	}
+	if err := registerExecPort(svc); err != nil {
+		return err
+	}
 	return svc.AddProvidesPort(iv, "patchRHS", PatchRHSPortType)
 }
 
 func (iv *InviscidFlux) solver() *euler.Solver {
-	sp, err := iv.svc.GetPort("states")
-	if err != nil {
-		panic(err)
-	}
-	iv.svc.ReleasePort("states")
-	fp, err := iv.svc.GetPort("flux")
-	if err != nil {
-		panic(err)
-	}
-	iv.svc.ReleasePort("flux")
-	gp, err := iv.svc.GetPort("gasProperties")
-	if err != nil {
-		panic(err)
-	}
-	iv.svc.ReleasePort("gasProperties")
-	gamma, ok := gp.(KeyValuePort).Value("gamma")
-	if !ok {
-		gamma = euler.AirGamma
-	}
-	statesPort := sp.(StatesPort)
-	fluxPort := fp.(FluxPort)
-	return &euler.Solver{
-		Gas:    euler.Gas{Gamma: gamma},
-		Flux:   fluxPort.Flux,
-		States: statesPort.Pair,
-	}
+	iv.once.Do(func() {
+		sp, err := iv.svc.GetPort("states")
+		if err != nil {
+			panic(err)
+		}
+		iv.svc.ReleasePort("states")
+		fp, err := iv.svc.GetPort("flux")
+		if err != nil {
+			panic(err)
+		}
+		iv.svc.ReleasePort("flux")
+		gp, err := iv.svc.GetPort("gasProperties")
+		if err != nil {
+			panic(err)
+		}
+		iv.svc.ReleasePort("gasProperties")
+		gamma, ok := gp.(KeyValuePort).Value("gamma")
+		if !ok {
+			gamma = euler.AirGamma
+		}
+		iv.solved = euler.Solver{
+			Gas:    euler.Gas{Gamma: gamma},
+			Flux:   fp.(FluxPort).Flux,
+			States: sp.(StatesPort).Pair,
+			// Nested parallelism: the integrator fans patches out, and
+			// within a patch the solver fans rows out on the same pool
+			// (caller participation makes the nesting deadlock-free).
+			Pool: optionalPool(iv.svc),
+		}
+	})
+	return &iv.solved
 }
 
-// EvalPatch implements PatchRHSPort.
+// EvalPatch implements PatchRHSPort. Safe for concurrent calls on
+// different patches.
 func (iv *InviscidFlux) EvalPatch(pd, out *field.PatchData, dx, dy float64) {
 	iv.solver().RHSPatch(pd, out, dx, dy)
 }
@@ -146,11 +161,16 @@ func (cq *CharacteristicQuantities) SetServices(svc cca.Services) error {
 	if err := svc.RegisterUsesPort("gasProperties", KeyValuePortType); err != nil {
 		return err
 	}
+	if err := registerExecPort(svc); err != nil {
+		return err
+	}
 	return svc.AddProvidesPort(cq, "characteristics", CharacteristicsPortType)
 }
 
 // StableDt implements CharacteristicsPort: the CFL-limited step of a
-// level, reduced across the cohort.
+// level, reduced across the cohort. Per-patch scans are independent
+// and fan out over the pool; min is order-independent, so the parallel
+// fold equals the serial one bit-for-bit.
 func (cq *CharacteristicQuantities) StableDt(mesh MeshPort, name string, level int) float64 {
 	gp, err := cq.svc.GetPort("gasProperties")
 	if err != nil {
@@ -165,9 +185,14 @@ func (cq *CharacteristicQuantities) StableDt(mesh MeshPort, name string, level i
 	s := &euler.Solver{Gas: euler.Gas{Gamma: gamma}, CFL: cfl}
 	d := mesh.Field(name)
 	dx, dy := mesh.Spacing(level)
+	patches := d.LocalPatches(level)
+	partial := make([]float64, len(patches))
+	optionalPool(cq.svc).ForEach(len(patches), func(_, i int) {
+		partial[i] = s.StableDt(patches[i], dx, dy)
+	})
 	dt := math.Inf(1)
-	for _, pd := range d.LocalPatches(level) {
-		if v := s.StableDt(pd, dx, dy); v < dt {
+	for _, v := range partial {
+		if v < dt {
 			dt = v
 		}
 	}

@@ -2,9 +2,12 @@ package components
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"ccahydro/internal/cca"
 	"ccahydro/internal/chem"
+	"ccahydro/internal/field"
 )
 
 // ImplicitIntegrator is the adaptor that "calls on the Implicit
@@ -31,6 +34,9 @@ func (ii *ImplicitIntegrator) SetServices(svc cca.Services) error {
 		return err
 	}
 	if err := svc.RegisterUsesPort("chemistry", ChemistryPortType); err != nil {
+		return err
+	}
+	if err := registerExecPort(svc); err != nil {
 		return err
 	}
 	// The adaptor also provides the RHS the CvodeComponent consumes:
@@ -71,7 +77,20 @@ func (cr cellRHS) Eval(_ float64, y, ydot []float64) {
 	ydot[0] = chemPort.ConstPressure(T, cr.ii.p0, y[1:1+n], ydot[1:1+n])
 }
 
-// AdvanceChemistry implements CellChemistryPort.
+// cellRef addresses one cell of one patch in the flattened cell list a
+// level advance fans out over.
+type cellRef struct {
+	pd   *field.PatchData
+	i, j int
+}
+
+// AdvanceChemistry implements CellChemistryPort. The stiff integrations
+// are independent across cells (each reads and writes only its own
+// column of the field), so they fan out over the execution pool: the
+// flattened cell list is chunked contiguously, each worker slot gets a
+// private integrator (WorkerIntegratorPort) and scratch vector, and
+// cvode.Solver.Init fully resets solver state per cell — so the result
+// of every cell is bit-for-bit the serial result regardless of width.
 func (ii *ImplicitIntegrator) AdvanceChemistry(mesh MeshPort, name string, level int, dt float64) (int, error) {
 	ip, err := ii.svc.GetPort("integrator")
 	if err != nil {
@@ -79,31 +98,83 @@ func (ii *ImplicitIntegrator) AdvanceChemistry(mesh MeshPort, name string, level
 	}
 	ii.svc.ReleasePort("integrator")
 	integ := ip.(ImplicitIntegratorPort)
-	mech := ii.chemistry().Mechanism()
+	mech := ii.chemistry().Mechanism() // also pre-fetches the chemistry port
 	nsp := mech.NumSpecies()
 	ii.nsp = nsp
 	d := mesh.Field(name)
-	y := make([]float64, nsp+1)
-	cells := 0
+
+	var cells []cellRef
 	for _, pd := range d.LocalPatches(level) {
 		b := pd.Interior()
 		for j := b.Lo[1]; j <= b.Hi[1]; j++ {
 			for i := b.Lo[0]; i <= b.Hi[0]; i++ {
-				y[0] = pd.At(0, i, j)
-				for k := 0; k < nsp; k++ {
-					y[1+k] = pd.At(1+k, i, j)
-				}
-				chem.NormalizeY(y[1 : 1+nsp])
-				if _, err := integ.IntegrateTo(0, dt, y); err != nil {
-					return cells, fmt.Errorf("cell (%d,%d) level %d: %w", i, j, level, err)
-				}
-				pd.Set(0, i, j, y[0])
-				for k := 0; k < nsp; k++ {
-					pd.Set(1+k, i, j, y[1+k])
-				}
-				cells++
+				cells = append(cells, cellRef{pd, i, j})
 			}
 		}
 	}
-	return cells, nil
+
+	pool := optionalPool(ii.svc)
+	width := pool.Width()
+	wip, canFanOut := integ.(WorkerIntegratorPort)
+	if width > len(cells) {
+		width = len(cells)
+	}
+	ints := make([]ImplicitIntegratorPort, width)
+	for w := range ints {
+		if canFanOut && width > 1 {
+			// Created serially here, used exclusively by slot w below.
+			ints[w] = wip.WorkerIntegrator(w, width)
+		} else {
+			ints[w] = integ
+		}
+	}
+	if !canFanOut {
+		pool = nil // provider cannot hand out private integrators: stay serial
+	}
+
+	ys := make([][]float64, len(ints))
+	var failed int32
+	var failMu sync.Mutex
+	failIdx, failErr := -1, error(nil)
+	body := func(w, idx int) {
+		if atomic.LoadInt32(&failed) != 0 {
+			return
+		}
+		c := cells[idx]
+		y := ys[w]
+		if y == nil {
+			y = make([]float64, nsp+1)
+			ys[w] = y
+		}
+		y[0] = c.pd.At(0, c.i, c.j)
+		for k := 0; k < nsp; k++ {
+			y[1+k] = c.pd.At(1+k, c.i, c.j)
+		}
+		chem.NormalizeY(y[1 : 1+nsp])
+		if _, err := ints[w].IntegrateTo(0, dt, y); err != nil {
+			atomic.StoreInt32(&failed, 1)
+			failMu.Lock()
+			if failIdx < 0 || idx < failIdx {
+				failIdx = idx
+				failErr = fmt.Errorf("cell (%d,%d) level %d: %w", c.i, c.j, level, err)
+			}
+			failMu.Unlock()
+			return
+		}
+		c.pd.Set(0, c.i, c.j, y[0])
+		for k := 0; k < nsp; k++ {
+			c.pd.Set(1+k, c.i, c.j, y[1+k])
+		}
+	}
+	if pool == nil {
+		for idx := range cells {
+			body(0, idx)
+		}
+	} else {
+		pool.ForEach(len(cells), body)
+	}
+	if failErr != nil {
+		return failIdx, failErr
+	}
+	return len(cells), nil
 }

@@ -16,6 +16,7 @@ import (
 	"ccahydro/internal/chem"
 	"ccahydro/internal/cvode"
 	"ccahydro/internal/euler"
+	"ccahydro/internal/exec"
 	"ccahydro/internal/field"
 )
 
@@ -42,6 +43,7 @@ const (
 	StatesPortType          = "hydro.StatesPort"
 	CharacteristicsPortType = "hydro.CharacteristicsPort"
 	ProlongRestrictPortType = "samr.ProlongRestrictPort"
+	ExecutionPortType       = "exec.ExecutionPort"
 )
 
 // MeshPort is the paper's type (a) port: geometric manipulation of the
@@ -199,6 +201,27 @@ type StatesPort interface {
 // control (the paper's CharacteristicQuantities component).
 type CharacteristicsPort interface {
 	StableDt(mesh MeshPort, name string, level int) float64
+}
+
+// ExecutionPort hands out the worker pool driving patch- and
+// cell-parallel loops. Components declare an optional "exec" uses port;
+// when it is left unconnected they fall back to the process-wide
+// default pool (width GOMAXPROCS), so standard paper assemblies need no
+// extra wiring. Connecting an ExecutionComponent with the "workers"
+// parameter pins the width — SCMD rank-parallel runs set it to 1 so
+// rank goroutines are the only parallelism.
+type ExecutionPort interface {
+	Pool() *exec.Pool
+}
+
+// WorkerIntegratorPort is an optional extension of an implicit
+// integrator provider: per-worker integrator instances so cell
+// integrations can proceed concurrently. CvodeComponent implements it.
+type WorkerIntegratorPort interface {
+	// WorkerIntegrator returns a private integrator for worker slot w of
+	// a pool of the given width. Instances are created on first use and
+	// reused across calls with the same width.
+	WorkerIntegrator(w, width int) ImplicitIntegratorPort
 }
 
 // ProlongRestrictPort performs the cell-centered interpolations between

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ccahydro/internal/cca"
+	"ccahydro/internal/field"
 )
 
 // RDDriver assembles the operator-split time loop of the 2D
@@ -46,6 +47,9 @@ func (dr *RDDriver) SetServices(svc cca.Services) error {
 		if err := svc.RegisterUsesPort(u[0], u[1]); err != nil {
 			return err
 		}
+	}
+	if err := registerExecPort(svc); err != nil {
+		return err
 	}
 	return svc.AddProvidesPort(cca.GoPort(goFunc(dr.run)), "go", cca.GoPortType)
 }
@@ -179,23 +183,40 @@ func (dr *RDDriver) run() error {
 	}
 
 	// Final temperature extrema (rank-local; experiments reduce them).
+	// Patch scans fan out over the pool; min/max folds are
+	// order-independent, so the result matches the serial scan exactly.
 	d := mesh.Field(name)
 	dr.TMax, dr.TMin = -1e300, 1e300
 	h := mesh.Hierarchy()
+	var scan []*field.PatchData
 	for l := 0; l < h.NumLevels(); l++ {
-		for _, pd := range d.LocalPatches(l) {
-			b := pd.Interior()
-			for j := b.Lo[1]; j <= b.Hi[1]; j++ {
-				for i := b.Lo[0]; i <= b.Hi[0]; i++ {
-					v := pd.At(0, i, j)
-					if v > dr.TMax {
-						dr.TMax = v
-					}
-					if v < dr.TMin {
-						dr.TMin = v
-					}
+		scan = append(scan, d.LocalPatches(l)...)
+	}
+	his := make([]float64, len(scan))
+	los := make([]float64, len(scan))
+	optionalPool(dr.svc).ForEach(len(scan), func(_, n int) {
+		pd := scan[n]
+		b := pd.Interior()
+		hi, lo := -1e300, 1e300
+		for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+			for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+				v := pd.At(0, i, j)
+				if v > hi {
+					hi = v
+				}
+				if v < lo {
+					lo = v
 				}
 			}
+		}
+		his[n], los[n] = hi, lo
+	})
+	for n := range scan {
+		if his[n] > dr.TMax {
+			dr.TMax = his[n]
+		}
+		if los[n] < dr.TMin {
+			dr.TMin = los[n]
 		}
 	}
 	if stats != nil {

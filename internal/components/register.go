@@ -38,6 +38,7 @@ func RegisterAll(repo *cca.Repository) {
 	repo.Register("RHSMonitor", func() cca.Component { return &RHSMonitor{} })
 	repo.Register("PatchRHSMonitor", func() cca.Component { return &PatchRHSMonitor{} })
 	repo.Register("BalancerComponent", func() cca.Component { return &BalancerComponent{} })
+	repo.Register("ExecutionComponent", func() cca.Component { return &ExecutionComponent{} })
 }
 
 // NewRepository returns a repository with every component registered.

@@ -14,6 +14,16 @@ import (
 // through the "patchRHS" port (the InviscidFlux adaptor).
 type ExplicitIntegratorRK2 struct {
 	svc cca.Services
+	// cache keeps the per-level rhs/save scratch patches alive between
+	// steps; invalidated by patch-identity comparison after regrids.
+	cache map[int]*rk2LevelCache
+}
+
+// rk2LevelCache is one level's reusable stage scratch.
+type rk2LevelCache struct {
+	patches []*field.PatchData
+	rhs     []*field.PatchData
+	save    []*field.PatchData
 }
 
 // SetServices implements cca.Component.
@@ -26,6 +36,9 @@ func (rk *ExplicitIntegratorRK2) SetServices(svc cca.Services) error {
 		if err := svc.RegisterUsesPort(u[0], u[1]); err != nil {
 			return err
 		}
+	}
+	if err := registerExecPort(svc); err != nil {
+		return err
 	}
 	return svc.AddProvidesPort(rk, "integrator", ExplicitIntegratorType)
 }
@@ -58,27 +71,44 @@ func (rk *ExplicitIntegratorRK2) fillGhosts(mesh MeshPort, bc BCPort, name strin
 
 // AdvanceLevel implements ExplicitIntegratorPort: one Heun step of size
 // t1-t0 over the level (the caller supplies a CFL-stable interval).
+// The ghost protocol between stages is collective and stays serial;
+// each stage's per-patch flux evaluations and conservative updates are
+// independent (own ghost-padded read array, own interior writes) and
+// fan out over the execution pool.
 func (rk *ExplicitIntegratorRK2) AdvanceLevel(mesh MeshPort, name string, level int, t0, t1 float64) error {
 	rhsPort, bc := rk.ports()
 	d := mesh.Field(name)
 	dx, dy := mesh.Spacing(level)
 	dt := t1 - t0
 	patches := d.LocalPatches(level)
+	pool := optionalPool(rk.svc)
 
-	rhs := make([]*field.PatchData, len(patches))
-	save := make([]*field.PatchData, len(patches))
-	for i, pd := range patches {
-		rhs[i] = field.NewPatchData(pd.Patch, d.NComp, d.Ghost)
-		save[i] = field.NewPatchData(pd.Patch, d.NComp, d.Ghost)
-		save[i].CopyRegion(pd, pd.GrownBox())
+	if rk.cache == nil {
+		rk.cache = make(map[int]*rk2LevelCache)
 	}
+	lc := rk.cache[level]
+	if lc == nil || !samePatches(lc.patches, patches) {
+		lc = &rk2LevelCache{
+			patches: patches,
+			rhs:     make([]*field.PatchData, len(patches)),
+			save:    make([]*field.PatchData, len(patches)),
+		}
+		for i, pd := range patches {
+			lc.rhs[i] = field.NewPatchData(pd.Patch, d.NComp, d.Ghost)
+			lc.save[i] = field.NewPatchData(pd.Patch, d.NComp, d.Ghost)
+		}
+		rk.cache[level] = lc
+	}
+	rhs, save := lc.rhs, lc.save
+	pool.ForEach(len(patches), func(_, i int) {
+		save[i].CopyRegion(patches[i], patches[i].GrownBox())
+	})
 
 	// Stage 1: U1 = U + dt L(U).
 	rk.fillGhosts(mesh, bc, name, level)
-	for i, pd := range patches {
+	pool.ForEach(len(patches), func(_, i int) {
+		pd := patches[i]
 		rhsPort.EvalPatch(pd, rhs[i], dx, dy)
-	}
-	for i, pd := range patches {
 		b := pd.Interior()
 		for k := 0; k < d.NComp; k++ {
 			for j := b.Lo[1]; j <= b.Hi[1]; j++ {
@@ -87,14 +117,13 @@ func (rk *ExplicitIntegratorRK2) AdvanceLevel(mesh MeshPort, name string, level 
 				}
 			}
 		}
-	}
+	})
 
 	// Stage 2: U^{n+1} = (U + U1 + dt L(U1)) / 2.
 	rk.fillGhosts(mesh, bc, name, level)
-	for i, pd := range patches {
+	pool.ForEach(len(patches), func(_, i int) {
+		pd := patches[i]
 		rhsPort.EvalPatch(pd, rhs[i], dx, dy)
-	}
-	for i, pd := range patches {
 		b := pd.Interior()
 		for k := 0; k < d.NComp; k++ {
 			for j := b.Lo[1]; j <= b.Hi[1]; j++ {
@@ -105,7 +134,7 @@ func (rk *ExplicitIntegratorRK2) AdvanceLevel(mesh MeshPort, name string, level 
 				}
 			}
 		}
-	}
+	})
 	rk.fillGhosts(mesh, bc, name, level)
 	return nil
 }

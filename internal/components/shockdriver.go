@@ -47,6 +47,9 @@ func (sd *ShockDriver) SetServices(svc cca.Services) error {
 			return err
 		}
 	}
+	if err := registerExecPort(svc); err != nil {
+		return err
+	}
 	return svc.AddProvidesPort(cca.GoPort(goFunc(sd.run)), "go", cca.GoPortType)
 }
 
@@ -159,15 +162,19 @@ func (sd *ShockDriver) run() error {
 
 // compositeCirculation evaluates Γ on the composite grid: each level
 // contributes only cells not covered by finer patches, and the result
-// is summed across the cohort.
+// is summed across the cohort. Patch contributions are computed in
+// parallel into per-patch partials and folded in patch order, so the
+// floating-point sum is independent of worker count.
 func (sd *ShockDriver) compositeCirculation(mesh MeshPort, name string, gamma float64, bc BCPort) float64 {
 	d := mesh.Field(name)
 	h := d.Hierarchy()
 	s := &euler.Solver{Gas: euler.Gas{Gamma: gamma}}
+	pool := optionalPool(sd.svc)
 	var total float64
 	for l := 0; l < h.NumLevels(); l++ {
 		dx, dy := mesh.Spacing(l)
-		// Ghosts must be valid for the vorticity stencil.
+		// Ghosts must be valid for the vorticity stencil (collective:
+		// stays on the calling goroutine).
 		if l > 0 {
 			d.FillCoarseFineGhosts(l, field.ProlongLinear)
 		}
@@ -179,7 +186,10 @@ func (sd *ShockDriver) compositeCirculation(mesh MeshPort, name string, gamma fl
 				finer = append(finer, fp.Box.Coarsen(h.Ratio))
 			}
 		}
-		for _, pd := range d.LocalPatches(l) {
+		patches := d.LocalPatches(l)
+		partial := make([]float64, len(patches))
+		pool.ForEach(len(patches), func(_, n int) {
+			pd := patches[n]
 			// Uncovered parts of this patch.
 			parts := []amr.Box{pd.Interior()}
 			for _, fb := range finer {
@@ -189,9 +199,14 @@ func (sd *ShockDriver) compositeCirculation(mesh MeshPort, name string, gamma fl
 				}
 				parts = next
 			}
+			var sum float64
 			for _, region := range parts {
-				total += circulationRegion(s, pd, region, dx, dy)
+				sum += circulationRegion(s, pd, region, dx, dy)
 			}
+			partial[n] = sum
+		})
+		for _, p := range partial {
+			total += p
 		}
 	}
 	if comm := sd.svc.Comm(); comm != nil && comm.Size() > 1 {

@@ -13,9 +13,13 @@ import (
 // serves as the Database subsystem holding gas properties (the paper
 // wraps pre-existing F77 chemistry the same way). The mechanism is
 // selected by the "mech" parameter ("h2air" or "h2air-lite").
+//
+// Source evaluations draw workspaces from a sync.Pool, so the port is
+// safe to call from many worker goroutines at once (parallel per-cell
+// chemistry hammers it); only the property database needs the mutex.
 type ThermoChemistry struct {
 	mech *chem.Mechanism
-	ws   *chem.SourceWorkspace
+	ws   sync.Pool // of *chem.SourceWorkspace
 	db   map[string]float64
 	mu   sync.Mutex
 }
@@ -28,7 +32,7 @@ func (tc *ThermoChemistry) SetServices(svc cca.Services) error {
 		return err
 	}
 	tc.mech = m
-	tc.ws = chem.NewSourceWorkspace(m)
+	tc.ws.New = func() any { return chem.NewSourceWorkspace(m) }
 	tc.db = make(map[string]float64)
 	// Populate the property database: molar masses and counts.
 	tc.db["nspecies"] = float64(m.NumSpecies())
@@ -46,20 +50,20 @@ func (tc *ThermoChemistry) SetServices(svc cca.Services) error {
 // Mechanism implements ChemistryPort.
 func (tc *ThermoChemistry) Mechanism() *chem.Mechanism { return tc.mech }
 
-// ConstPressure implements ChemistryPort. It serializes access to the
-// shared workspace; per-goroutine callers should hold their own
-// component instances (one framework per rank under SCMD guarantees it).
+// ConstPressure implements ChemistryPort. Safe for concurrent callers.
 func (tc *ThermoChemistry) ConstPressure(T, P float64, Y, dY []float64) float64 {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	return tc.mech.ConstPressureSource(T, P, Y, dY, tc.ws)
+	ws := tc.ws.Get().(*chem.SourceWorkspace)
+	dT := tc.mech.ConstPressureSource(T, P, Y, dY, ws)
+	tc.ws.Put(ws)
+	return dT
 }
 
-// ConstVolume implements ChemistryPort.
+// ConstVolume implements ChemistryPort. Safe for concurrent callers.
 func (tc *ThermoChemistry) ConstVolume(T, rho float64, Y, dY []float64) float64 {
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	return tc.mech.ConstVolumeSource(T, rho, Y, dY, tc.ws)
+	ws := tc.ws.Get().(*chem.SourceWorkspace)
+	dT := tc.mech.ConstVolumeSource(T, rho, Y, dY, ws)
+	tc.ws.Put(ws)
+	return dT
 }
 
 // keyValueView adapts the property map to KeyValuePort.

@@ -2,7 +2,9 @@ package euler
 
 import (
 	"math"
+	"sync"
 
+	"ccahydro/internal/exec"
 	"ccahydro/internal/field"
 )
 
@@ -50,16 +52,24 @@ func FirstOrder(a, b float64) float64 { return 0 }
 // component seam.
 type StatesFunc func(g Gas, pd *field.PatchData, i, j, dir int) (Primitive, Primitive)
 
-// Solver advances the 2D Euler system on AMR patches.
+// Solver advances the 2D Euler system on AMR patches. A Solver value
+// with a nil or width-1 Pool is strictly serial; all methods are
+// read-only on the Solver itself, so one Solver may serve concurrent
+// RHSPatch calls on different patches.
 type Solver struct {
 	Gas  Gas
 	Flux FluxFunc
 	// States reconstructs face states; defaults to MUSCL with the
-	// Limiter field when nil.
+	// Limiter field when nil. Must be safe for concurrent calls.
 	States  StatesFunc
 	Limiter Limiter
 	// CFL is the Courant number (default 0.45 when zero).
 	CFL float64
+	// Pool, when non-nil, fans the row/column sweeps of RHSPatch out
+	// across workers. Rows (and columns) write disjoint cells of out,
+	// and the sweep decomposition is independent of worker count, so
+	// results are bit-for-bit identical to the serial sweeps.
+	Pool *exec.Pool
 }
 
 // NewSolver builds a second-order Godunov solver with MC limiting.
@@ -68,11 +78,11 @@ func NewSolver(gamma float64, flux FluxFunc) *Solver {
 }
 
 // MUSCLStates returns a StatesFunc doing primitive-variable MUSCL
-// reconstruction with the given limiter.
+// reconstruction with the given limiter. The closure holds no mutable
+// state, so it is safe for concurrent sweeps.
 func MUSCLStates(lim Limiter) StatesFunc {
-	s := &Solver{Limiter: lim}
 	return func(g Gas, pd *field.PatchData, i, j, dir int) (Primitive, Primitive) {
-		s.Gas = g
+		s := Solver{Gas: g, Limiter: lim}
 		return s.limitedPair(pd, i, j, dir)
 	}
 }
@@ -129,48 +139,86 @@ func (s *Solver) limitedPair(pd *field.PatchData, i, j, dir int) (Primitive, Pri
 	return l, r
 }
 
+// serialPool backs RHSPatch when the Solver has no Pool: width 1, so
+// ForEachChunk degenerates to an inline loop.
+var serialPool = exec.NewPool(1)
+
+// sweepPool recycles flux-line buffers across RHSPatch calls. A
+// sync.Pool (rather than solver-held scratch) keeps Solver values
+// copyable and the kernel safe under nested parallelism, where one
+// shared Solver serves several concurrent patch evaluations.
+var sweepPool sync.Pool
+
+func getSweep(n int) []Conserved {
+	if v := sweepPool.Get(); v != nil {
+		if s := *v.(*[]Conserved); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]Conserved, n)
+}
+
+func putSweep(s []Conserved) { sweepPool.Put(&s) }
+
 // RHSPatch writes dU/dt = -dF/dx - dG/dy into out over the interior of
 // pd. The patch's ghost cells (2 layers) must be filled beforehand.
+// With a Pool set, rows of the x sweep and columns of the y sweep run
+// in parallel: each writes its own cells of out, and the two sweeps are
+// separated by a barrier (ForEachChunk blocks), so y-sweep Adds always
+// see completed x-sweep Sets.
 func (s *Solver) RHSPatch(pd, out *field.PatchData, dx, dy float64) {
 	b := pd.Interior()
 	nx, ny := b.Size()
 	invDx, invDy := 1/dx, 1/dy
 
-	// X sweep: fluxes at nx+1 faces per row.
 	states := s.States
 	if states == nil {
 		states = MUSCLStates(s.Limiter)
 	}
-	fx := make([]Conserved, nx+1)
-	for j := b.Lo[1]; j <= b.Hi[1]; j++ {
-		for fi := 0; fi <= nx; fi++ {
-			i := b.Lo[0] + fi
-			l, r := states(s.Gas, pd, i, j, 0)
-			fx[fi] = s.Flux(s.Gas, l, r)
-		}
-		for ii := 0; ii < nx; ii++ {
-			i := b.Lo[0] + ii
-			for k := 0; k < NumComp; k++ {
-				out.Set(k, i, j, -(fx[ii+1][k]-fx[ii][k])*invDx)
-			}
-		}
+	pool := s.Pool
+	if pool == nil {
+		pool = serialPool
 	}
 
-	// Y sweep.
-	fy := make([]Conserved, ny+1)
-	for i := b.Lo[0]; i <= b.Hi[0]; i++ {
-		for fj := 0; fj <= ny; fj++ {
-			j := b.Lo[1] + fj
-			l, r := states(s.Gas, pd, i, j, 1)
-			fy[fj] = swapFlux(s.Flux(s.Gas, l, r))
-		}
-		for jj := 0; jj < ny; jj++ {
+	// X sweep: fluxes at nx+1 faces per row; rows fan out.
+	pool.ForEachChunk(ny, func(_, lo, hi int) {
+		fx := getSweep(nx + 1)
+		for jj := lo; jj < hi; jj++ {
 			j := b.Lo[1] + jj
-			for k := 0; k < NumComp; k++ {
-				out.Add(k, i, j, -(fy[jj+1][k]-fy[jj][k])*invDy)
+			for fi := 0; fi <= nx; fi++ {
+				i := b.Lo[0] + fi
+				l, r := states(s.Gas, pd, i, j, 0)
+				fx[fi] = s.Flux(s.Gas, l, r)
+			}
+			for ii := 0; ii < nx; ii++ {
+				i := b.Lo[0] + ii
+				for k := 0; k < NumComp; k++ {
+					out.Set(k, i, j, -(fx[ii+1][k]-fx[ii][k])*invDx)
+				}
 			}
 		}
-	}
+		putSweep(fx)
+	})
+
+	// Y sweep: columns fan out.
+	pool.ForEachChunk(nx, func(_, lo, hi int) {
+		fy := getSweep(ny + 1)
+		for ii := lo; ii < hi; ii++ {
+			i := b.Lo[0] + ii
+			for fj := 0; fj <= ny; fj++ {
+				j := b.Lo[1] + fj
+				l, r := states(s.Gas, pd, i, j, 1)
+				fy[fj] = swapFlux(s.Flux(s.Gas, l, r))
+			}
+			for jj := 0; jj < ny; jj++ {
+				j := b.Lo[1] + jj
+				for k := 0; k < NumComp; k++ {
+					out.Add(k, i, j, -(fy[jj+1][k]-fy[jj][k])*invDy)
+				}
+			}
+		}
+		putSweep(fy)
+	})
 }
 
 // StableDt returns the CFL-limited time step for one patch.

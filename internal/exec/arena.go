@@ -1,0 +1,43 @@
+package exec
+
+// Arena is a per-worker scratch store: one lazily-constructed value per
+// worker slot of a Pool. Kernels that used to `make` scratch slices in
+// inner loops instead Get(w) the slot for the worker executing them —
+// slot w is only ever touched by chunk w of the running loop, so no
+// locking is needed and, because the slot→items mapping is
+// deterministic, results are bit-for-bit reproducible.
+//
+// An Arena must only be shared by loops that cannot overlap in time
+// (e.g. scratch held by a component whose port is driven by one level
+// advance at a time). Kernels reachable from several concurrent jobs —
+// a shared PatchRHSPort evaluated under nested parallelism — should use
+// a sync.Pool instead, which trades determinism of *identity* (never of
+// values: scratch is fully overwritten before use) for safety under
+// arbitrary overlap.
+type Arena[T any] struct {
+	mk    func() T
+	slots []T
+	live  []bool
+}
+
+// NewArena creates an arena sized for p's worker slots. mk constructs a
+// slot's scratch on first use.
+func NewArena[T any](p *Pool, mk func() T) *Arena[T] {
+	return &Arena[T]{
+		mk:    mk,
+		slots: make([]T, p.Width()),
+		live:  make([]bool, p.Width()),
+	}
+}
+
+// Get returns worker w's scratch, constructing it on first use.
+func (a *Arena[T]) Get(w int) T {
+	if !a.live[w] {
+		a.slots[w] = a.mk()
+		a.live[w] = true
+	}
+	return a.slots[w]
+}
+
+// Width returns the slot count the arena was sized for.
+func (a *Arena[T]) Width() int { return len(a.slots) }

@@ -1,0 +1,219 @@
+// Package exec provides the shared goroutine worker pool behind the
+// repository's patch-parallel hot loops. The paper's performance story
+// is that component boundaries cost nothing while the physics kernels
+// dominate runtime; this package is the lever that lets those kernels
+// use every core. Block-structured SAMR gets its parallelism from the
+// independence of same-level patch updates (each patch's RHS/flux
+// evaluation reads its own ghost-padded array and writes its own
+// interior), so a level advance decomposes into an embarrassingly
+// parallel ForEach over patches — and stiff per-cell chemistry
+// decomposes further into a ForEach over cells.
+//
+// Design constraints, in order:
+//
+//  1. Determinism. Work item i always runs under the same worker slot
+//     w regardless of scheduling, and callers combine any per-slot
+//     partial results in slot order, so a parallel run is bit-for-bit
+//     identical to a serial run of the same loop.
+//  2. Nested safety. The calling goroutine always participates in its
+//     own loop (it claims chunks like any worker), so a ForEach issued
+//     from inside another ForEach completes even when every pool
+//     worker is busy — there is no deadlock by construction.
+//  3. Zero overhead when serial. With width 1 (the default on a
+//     single-CPU host, and the pinned configuration for SCMD
+//     rank-parallel runs) ForEach degenerates to an inline loop with
+//     no goroutines, channels, or allocations.
+//  4. Panic transparency. A panic inside a work item is captured with
+//     its stack and re-raised in the calling goroutine as *PanicError,
+//     so component contracts (drivers panic on wiring bugs) survive
+//     parallel execution.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ccahydro/internal/field"
+)
+
+// PanicError wraps a panic captured inside a pool task. It is re-raised
+// in the goroutine that issued the ForEach.
+type PanicError struct {
+	Value any    // the original panic value
+	Stack string // stack of the panicking worker
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: panic in parallel task: %v", e.Value)
+}
+
+// job is one ForEach invocation: n items split into `chunks` contiguous
+// ranges, claimed by participants through an atomic counter. The worker
+// slot passed to fn is the chunk index, so the slot→items mapping is a
+// pure function of (n, chunks) — the root of the determinism guarantee.
+type job struct {
+	n      int
+	chunks int32
+	next   int32 // atomic: next unclaimed chunk
+	done   int32 // atomic: finished chunks
+	fn     func(w, lo, hi int)
+	fin    chan struct{}
+	pe     atomic.Pointer[PanicError]
+}
+
+// bounds returns the half-open item range [lo, hi) of chunk c.
+func (j *job) bounds(c int) (lo, hi int) {
+	ch := int(j.chunks)
+	return c * j.n / ch, (c + 1) * j.n / ch
+}
+
+func (j *job) runChunk(c int) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 1<<14)
+			buf = buf[:runtime.Stack(buf, false)]
+			j.pe.CompareAndSwap(nil, &PanicError{Value: r, Stack: string(buf)})
+		}
+		if atomic.AddInt32(&j.done, 1) == j.chunks {
+			close(j.fin)
+		}
+	}()
+	lo, hi := j.bounds(c)
+	j.fn(c, lo, hi)
+}
+
+// drain claims and executes chunks until none remain.
+func (j *job) drain() {
+	for {
+		c := atomic.AddInt32(&j.next, 1) - 1
+		if c >= j.chunks {
+			return
+		}
+		j.runChunk(int(c))
+	}
+}
+
+// Pool is a lazily-started goroutine worker pool. The zero value is not
+// usable; construct with NewPool. Pools are safe for concurrent use by
+// multiple goroutines (e.g. the in-process SCMD rank cohort shares one
+// pool, bounding total hardware parallelism at Width regardless of rank
+// count).
+type Pool struct {
+	width int
+	jobs  chan *job
+	start sync.Once
+}
+
+// NewPool creates a pool with the given width (maximum parallelism and
+// worker-slot count). Width < 1 is clamped to 1. Workers are spawned
+// lazily on the first parallel ForEach; a width-1 pool never spawns
+// anything.
+func NewPool(width int) *Pool {
+	if width < 1 {
+		width = 1
+	}
+	return &Pool{width: width, jobs: make(chan *job, 4*width)}
+}
+
+// Width returns the worker-slot count: fn's w argument is always in
+// [0, Width()). Size per-worker scratch arenas by it.
+func (p *Pool) Width() int { return p.width }
+
+func (p *Pool) spawn() {
+	// width resident workers; the caller of each ForEach participates
+	// too, so a saturated pool still makes progress on nested loops.
+	for i := 0; i < p.width; i++ {
+		go func() {
+			for j := range p.jobs {
+				j.drain()
+			}
+		}()
+	}
+}
+
+// ForEachChunk partitions [0, n) into at most Width contiguous chunks
+// and calls fn(w, lo, hi) once per chunk, in parallel. w is the chunk
+// index — stable for a given n, so per-w scratch yields deterministic
+// results. Blocks until every chunk has finished; panics inside fn are
+// re-raised here as *PanicError.
+func (p *Pool) ForEachChunk(n int, fn func(w, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	chunks := p.width
+	if chunks > n {
+		chunks = n
+	}
+	if chunks == 1 {
+		// Serial fast path: same (w, lo, hi) mapping, no machinery.
+		fn(0, 0, n)
+		return
+	}
+	j := &job{n: n, chunks: int32(chunks), fn: fn, fin: make(chan struct{})}
+	p.start.Do(p.spawn)
+	// Advertise one handle per chunk beyond the caller's own share;
+	// workers that pick up an exhausted job return immediately. Posting
+	// is best-effort: a full queue only costs parallelism, never
+	// correctness, because the caller drains the job itself.
+	for i := 1; i < chunks; i++ {
+		select {
+		case p.jobs <- j:
+		default:
+			i = chunks // queue full; stop advertising
+		}
+	}
+	j.drain()
+	<-j.fin
+	if pe := j.pe.Load(); pe != nil {
+		panic(pe)
+	}
+}
+
+// ForEach calls fn(w, i) for every i in [0, n), in parallel across at
+// most Width workers. Item i always runs under the same worker slot w
+// for a given n (chunked contiguously), so per-worker scratch does not
+// perturb results. Blocks until done; worker panics re-raise here.
+func (p *Pool) ForEach(n int, fn func(w, i int)) {
+	p.ForEachChunk(n, func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(w, i)
+		}
+	})
+}
+
+// ForEachPatch applies fn to every patch of a level in parallel — the
+// SAMR hot-loop shape: each patch's update is independent within a
+// level given filled ghosts, so patches fan out across workers.
+func ForEachPatch(p *Pool, patches []*field.PatchData, fn func(w int, pd *field.PatchData)) {
+	p.ForEach(len(patches), func(w, i int) { fn(w, patches[i]) })
+}
+
+var (
+	defMu sync.Mutex
+	def   *Pool
+)
+
+// Default returns the process-wide pool, created on first use with
+// width runtime.GOMAXPROCS(0). Components whose optional ExecutionPort
+// is unconnected fall back to it, so standard assemblies parallelize
+// automatically on multicore hosts and stay serial on one CPU.
+func Default() *Pool {
+	defMu.Lock()
+	defer defMu.Unlock()
+	if def == nil {
+		def = NewPool(runtime.GOMAXPROCS(0))
+	}
+	return def
+}
+
+// SetDefaultWidth replaces the default pool with one of the given
+// width. It is a test and benchmark hook (the CCA-faithful way to pin
+// the width is an ExecutionComponent with the "workers" parameter);
+// callers must not have ForEach calls in flight on the old pool.
+func SetDefaultWidth(width int) {
+	defMu.Lock()
+	def = NewPool(width)
+	defMu.Unlock()
+}

@@ -1,0 +1,70 @@
+package rkc
+
+import "testing"
+
+// heat1D is a small diffusion RHS for steady-state allocation tests.
+func heat1D(n int) (RHS, SpectralRadius) {
+	f := func(t float64, y, ydot []float64) {
+		for i := range y {
+			l, r := 0.0, 0.0
+			if i > 0 {
+				l = y[i-1]
+			}
+			if i < len(y)-1 {
+				r = y[i+1]
+			}
+			ydot[i] = (l - 2*y[i] + r) * float64(n*n)
+		}
+	}
+	rho := func(t float64, y []float64) float64 { return 4 * float64(n*n) }
+	return f, rho
+}
+
+// TestIntegrateSteadyStateAllocs pins the scratch-lifting work: after
+// the first Integrate grows the Chebyshev recurrence buffers, repeated
+// Init+Integrate cycles on the same solver must not allocate.
+func TestIntegrateSteadyStateAllocs(t *testing.T) {
+	const n = 64
+	f, rho := heat1D(n)
+	s := New(n, f, rho, Options{})
+	y0 := make([]float64, n)
+	for i := range y0 {
+		y0[i] = float64(i%7) / 7.0
+	}
+
+	run := func() {
+		s.Init(0, y0)
+		if err := s.Integrate(1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up: grows tj/dj/d2j/bj to the peak stage count
+
+	if avg := testing.AllocsPerRun(20, run); avg > 0 {
+		t.Errorf("Integrate allocates %.1f times per call at steady state, want 0", avg)
+	}
+}
+
+// TestPowerRhoSteadyStateAllocs covers the power-iteration path (no
+// user spectral radius) with the same zero-alloc requirement.
+func TestPowerRhoSteadyStateAllocs(t *testing.T) {
+	const n = 32
+	f, _ := heat1D(n)
+	s := New(n, f, nil, Options{})
+	y0 := make([]float64, n)
+	for i := range y0 {
+		y0[i] = 1.0 / float64(i+1)
+	}
+
+	run := func() {
+		s.Init(0, y0)
+		if err := s.Integrate(1e-4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+
+	if avg := testing.AllocsPerRun(20, run); avg > 0 {
+		t.Errorf("Integrate (power iteration) allocates %.1f times per call, want 0", avg)
+	}
+}

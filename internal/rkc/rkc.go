@@ -70,12 +70,17 @@ type Solver struct {
 
 	f0, yjm1, yjm2, yj, est []float64
 
+	// Persistent scratch so repeated Step calls are allocation-free:
+	// fj is the stage RHS, pv/pfv/pyp back the power iteration, and
+	// tj/dj/d2j/bj hold the Chebyshev recurrences (grown to the largest
+	// stage count seen).
+	fj, pv, pfv, pyp []float64
+	tj, dj, d2j, bj  []float64
+
 	stats Stats
 }
 
-// New creates an RKC solver. rho may be nil, in which case a power
-// iteration estimates the spectral radius from finite differences.
-func New(n int, f RHS, rho SpectralRadius, opt Options) *Solver {
+func normalize(opt Options) Options {
 	if opt.RelTol <= 0 {
 		opt.RelTol = 1e-4
 	}
@@ -88,16 +93,39 @@ func New(n int, f RHS, rho SpectralRadius, opt Options) *Solver {
 	if opt.MaxSteps <= 0 {
 		opt.MaxSteps = 100000
 	}
+	return opt
+}
+
+// New creates an RKC solver. rho may be nil, in which case a power
+// iteration estimates the spectral radius from finite differences.
+func New(n int, f RHS, rho SpectralRadius, opt Options) *Solver {
 	s := &Solver{
-		n: n, f: f, rho: rho, opt: opt,
+		n: n, f: f, rho: rho, opt: normalize(opt),
 		f0:   make([]float64, n),
 		yjm1: make([]float64, n),
 		yjm2: make([]float64, n),
 		yj:   make([]float64, n),
 		est:  make([]float64, n),
+		fj:   make([]float64, n),
 	}
 	return s
 }
+
+// SetProblem swaps the RHS and spectral-radius callbacks, keeping the
+// solver's scratch. It lets a component reuse one Solver (and its
+// allocations) across level advances whose closures change each call.
+func (s *Solver) SetProblem(f RHS, rho SpectralRadius) {
+	s.f = f
+	s.rho = rho
+}
+
+// Reconfigure replaces the options (applying the same defaults as New).
+func (s *Solver) Reconfigure(opt Options) {
+	s.opt = normalize(opt)
+}
+
+// N returns the system dimension the solver was built for.
+func (s *Solver) N() int { return s.n }
 
 // Init sets the initial condition.
 func (s *Solver) Init(t0 float64, y0 []float64) {
@@ -123,8 +151,12 @@ func (s *Solver) powerRho(t float64, y, fy []float64) float64 {
 	if s.n == 0 {
 		return 1e-8
 	}
-	v := make([]float64, s.n)
-	fv := make([]float64, s.n)
+	if s.pv == nil {
+		s.pv = make([]float64, s.n)
+		s.pfv = make([]float64, s.n)
+		s.pyp = make([]float64, s.n)
+	}
+	v, fv := s.pv, s.pfv
 	var ynorm float64
 	for i, yi := range y {
 		ynorm += yi * yi
@@ -144,7 +176,7 @@ func (s *Solver) powerRho(t float64, y, fy []float64) float64 {
 		vnorm = math.Sqrt(float64(s.n))
 	}
 	rho := 0.0
-	yp := make([]float64, s.n)
+	yp := s.pyp
 	for iter := 0; iter < 10; iter++ {
 		// u = v/|v| is the current direction; v <- J u by differences.
 		for i := range yp {
@@ -252,10 +284,17 @@ func (s *Solver) chebStep(h float64, nStage int) float64 {
 	w0 := 1 + eps/(ns*ns)
 
 	// Chebyshev values at w0 via the stable recurrences.
-	// T_j(w0), T_j'(w0), T_j''(w0).
-	tj := make([]float64, nStage+1)
-	dj := make([]float64, nStage+1)
-	d2j := make([]float64, nStage+1)
+	// T_j(w0), T_j'(w0), T_j''(w0). Coefficient scratch persists on the
+	// solver, grown to the largest stage count seen.
+	if cap(s.tj) < nStage+1 {
+		s.tj = make([]float64, nStage+1)
+		s.dj = make([]float64, nStage+1)
+		s.d2j = make([]float64, nStage+1)
+		s.bj = make([]float64, nStage+1)
+	}
+	tj := s.tj[:nStage+1]
+	dj := s.dj[:nStage+1]
+	d2j := s.d2j[:nStage+1]
 	tj[0], dj[0], d2j[0] = 1, 0, 0
 	tj[1], dj[1], d2j[1] = w0, 1, 0
 	for j := 2; j <= nStage; j++ {
@@ -265,7 +304,7 @@ func (s *Solver) chebStep(h float64, nStage int) float64 {
 	}
 	w1 := dj[nStage] / d2j[nStage]
 
-	b := make([]float64, nStage+1)
+	b := s.bj[:nStage+1]
 	for j := 2; j <= nStage; j++ {
 		b[j] = d2j[j] / (dj[j] * dj[j])
 	}
@@ -278,7 +317,7 @@ func (s *Solver) chebStep(h float64, nStage int) float64 {
 		s.yjm1[i] = s.y[i] + mu1t*h*s.f0[i]
 	}
 
-	fj := make([]float64, s.n)
+	fj := s.fj
 	for j := 2; j <= nStage; j++ {
 		mu := 2 * b[j] * w0 / b[j-1]
 		nu := -b[j] / b[j-2]

@@ -1,0 +1,23 @@
+#!/bin/sh
+# Tier-1 gate: vet, build, full test suite, then race-detector runs on
+# the packages with intra-rank parallelism (the exec worker pool and
+# everything that fans patch loops out over it). Run from the repo root:
+#
+#   sh scripts/check.sh
+set -e
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (parallel engine + drivers)"
+go test -race ./internal/exec/... ./internal/components/... ./internal/core/...
+
+echo "OK"
