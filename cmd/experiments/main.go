@@ -9,12 +9,15 @@
 //	experiments -exp fig7           # circulation convergence (1/2/3 levels)
 //	experiments -exp fig8           # weak-scaling series
 //	experiments -exp fig9           # strong-scaling vs ideal
+//	experiments -exp comm           # halo-exchange study (blocking vs async)
 //	experiments -exp all            # everything
 //
-// -quick shrinks the parameter sweeps for a fast sanity pass.
+// -quick shrinks the parameter sweeps for a fast sanity pass. -commjson
+// writes the comm study to a JSON file (the BENCH_comm.json artifact).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,9 +30,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, all")
+	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	dump := flag.String("dump", "", "directory for CSV/PGM field dumps (fig3, fig4, fig6)")
+	commJSON := flag.String("commjson", "", "path for the comm study JSON artifact (exp comm)")
 	flag.Parse()
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
@@ -170,6 +174,31 @@ func main() {
 			fmt.Printf("wrote %s/fig6_rho.{csv,pgm}\n", *dump)
 			fmt.Println("patch map (digit = finest level):")
 			fmt.Print(field.PatchMap(gc.Hierarchy(), 96))
+		}
+		return nil
+	})
+
+	run("comm", func() error {
+		// Pinned reference costs keep the artifact deterministic across
+		// hosts (no wall-clock calibration enters the virtual times).
+		haloPs := []int{2, 4, 8, 16, 48}
+		commPs := ps
+		n := 200
+		if *quick {
+			haloPs = []int{2, 4}
+			n = 100
+		}
+		rep := bench.BuildCommReport(bench.ReferenceCosts, n, haloPs, n, commPs)
+		bench.PrintCommReport(os.Stdout, rep)
+		if *commJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*commJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *commJSON)
 		}
 		return nil
 	})

@@ -21,6 +21,7 @@ import (
 	"ccahydro/internal/cca"
 	"ccahydro/internal/components"
 	"ccahydro/internal/core"
+	"ccahydro/internal/mpi"
 )
 
 func main() {
@@ -69,6 +70,36 @@ func main() {
 	tauComp, _ := f.Lookup("tau")
 	fmt.Println("per-component timing (TAU-style):")
 	tauComp.(*components.TauTimer).WriteReport(os.Stdout)
+
+	// The message substrate instruments itself the same way: run a small
+	// flame on the 4-rank virtual cluster and report each rank's traffic,
+	// stall time, and the flight time the asynchronous coalesced exchange
+	// hid behind interior compute.
+	fmt.Println("\nmessage statistics, 4-rank SCMD flame (virtual CPlant):")
+	stats := make([]mpi.CommStats, 4)
+	res := cca.RunSCMD(4, mpi.CPlantModel, core.Repo(), func(f *cca.Framework, comm *mpi.Comm) error {
+		_, _, err := core.RunReactionDiffusion(comm,
+			core.Param{Instance: "grace", Key: "nx", Value: "24"},
+			core.Param{Instance: "grace", Key: "ny", Value: "24"},
+			core.Param{Instance: "grace", Key: "maxLevels", Value: "1"},
+			core.Param{Instance: "driver", Key: "steps", Value: "2"},
+			core.Param{Instance: "driver", Key: "dt", Value: "1e-7"},
+			core.Param{Instance: "driver", Key: "regridEvery", Value: "0"},
+			core.Param{Instance: "driver", Key: "skipChem", Value: "true"},
+		)
+		stats[comm.Rank()] = comm.Stats()
+		return err
+	})
+	for r, err := range res.Errors {
+		if err != nil {
+			log.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	fmt.Printf("%-6s %8s %8s %12s %12s %12s\n", "rank", "sends", "words", "stall (s)", "hidden (s)", "vtime (s)")
+	for r, s := range stats {
+		fmt.Printf("%-6d %8d %8d %12.6f %12.6f %12.6f\n",
+			r, s.Sends, s.WordsSent, s.CommSeconds, s.HiddenSeconds, res.World.RankTime(r))
+	}
 }
 
 func must(err error) {

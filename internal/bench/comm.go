@@ -1,0 +1,226 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/field"
+	"ccahydro/internal/mpi"
+)
+
+// Communication benchmarks for the asynchronous coalesced halo
+// exchange: a pure ghost-exchange microbenchmark and the Fig 9
+// strong-scaling study rerun in both exchange modes. Everything here
+// runs on the virtual-clock cluster with pinned per-cell rates, so the
+// emitted numbers (BENCH_comm.json) are deterministic across hosts.
+
+// ReferenceCosts pins the per-cell compute rates for the deterministic
+// communication report. Magnitudes match a typical Calibrate() run of
+// the real kernels; pinning them decouples BENCH_comm.json from host
+// speed.
+var ReferenceCosts = CellCosts{
+	ColdChem:  2.0e-5,
+	HotChem:   2.5e-4,
+	DiffStage: 8.0e-8,
+	DMax:      3.2e-4,
+	HotT:      800,
+}
+
+// HaloPoint is one halo-microbenchmark measurement: the same exchange
+// schedule driven blocking (Finish immediately after Start, compute
+// after) and overlapped (interior compute charged between Start and
+// Finish).
+type HaloPoint struct {
+	P         int `json:"p"`
+	N         int `json:"n"`
+	Exchanges int `json:"exchanges"`
+	// BlockingTime / AsyncTime are max-over-ranks virtual run times.
+	BlockingTime float64 `json:"blocking_time_s"`
+	AsyncTime    float64 `json:"async_time_s"`
+	// MsgsPerExchange sums the coalesced per-rank send counts of one
+	// exchange; RegionsPerExchange is what the count was before
+	// coalescing (one message per overlap region).
+	MsgsPerExchange    int `json:"msgs_per_exchange"`
+	RegionsPerExchange int `json:"regions_per_exchange"`
+	// NeighborRankSum sums per-rank neighbor counts — the coalescing
+	// invariant is MsgsPerExchange <= NeighborRankSum.
+	NeighborRankSum int `json:"neighbor_rank_sum"`
+	// WordsPerExchange is the global outbound volume of one exchange.
+	WordsPerExchange int `json:"words_per_exchange"`
+	// StallSeconds / HiddenSeconds are the worst per-rank receive-stall
+	// and covered-flight totals of the overlapped run.
+	StallSeconds  float64 `json:"stall_seconds"`
+	HiddenSeconds float64 `json:"hidden_seconds"`
+}
+
+// runHaloMode executes the microbenchmark in one mode and returns the
+// max virtual time plus per-rank stats.
+func runHaloMode(p, n, ncomp, ghost, exchanges int, perCell float64,
+	model mpi.NetworkModel, blocking bool) (float64, []mpi.CommStats, field.ExchangeInfo) {
+	domain := amr.NewBox(0, 0, n-1, n-1)
+	// Several patches per rank, dealt round-robin: each rank then shares
+	// multiple overlap regions with each neighbor, so coalescing has
+	// something to merge (msgs < regions).
+	blockCells := n * n / (4 * p)
+	if blockCells < 64 {
+		blockCells = 64
+	}
+	blocks := amr.SplitLargeBoxes([]amr.Box{domain}, blockCells)
+	owners := make([]int, len(blocks))
+	for i := range owners {
+		owners[i] = i % p
+	}
+	rstats := make([]mpi.CommStats, p)
+	infos := make([]field.ExchangeInfo, p)
+	world := mpi.Run(p, model, func(comm *mpi.Comm) {
+		h := amr.NewHierarchyDecomposed(domain, 2, 1, p, blocks, owners)
+		d := field.New("u", h, ncomp, ghost, comm)
+		var cells, innerCells int
+		for _, pd := range d.LocalPatches(0) {
+			cells += pd.Interior().NumCells()
+			innerCells += pd.Interior().Grow(-d.Ghost).NumCells()
+		}
+		stripCells := cells - innerCells
+		for e := 0; e < exchanges; e++ {
+			if blocking {
+				d.ExchangeGhosts(0)
+				comm.Charge(float64(cells) * perCell)
+			} else {
+				ex := d.ExchangeGhostsStart(0)
+				comm.Charge(float64(innerCells) * perCell)
+				ex.Finish()
+				comm.Charge(float64(stripCells) * perCell)
+			}
+		}
+		comm.Barrier()
+		infos[comm.Rank()] = d.ExchangeInfo(0)
+		rstats[comm.Rank()] = comm.Stats()
+	})
+	var info field.ExchangeInfo
+	for _, in := range infos {
+		info.Transfers += in.Transfers
+		info.SendMsgs += in.SendMsgs
+		info.RecvMsgs += in.RecvMsgs
+		info.SendWords += in.SendWords
+		info.NeighborRanks += in.NeighborRanks
+		info.RemoteTransfers += in.RemoteTransfers
+	}
+	return world.MaxVirtualTime(), rstats, info
+}
+
+// RunHalo measures one (P, N) halo-microbenchmark point in both modes.
+// perCell is the synthetic compute rate charged per cell per exchange.
+func RunHalo(p, n, exchanges int, perCell float64, model mpi.NetworkModel) HaloPoint {
+	const ncomp, ghost = 10, 2
+	pt := HaloPoint{P: p, N: n, Exchanges: exchanges}
+	bt, _, _ := runHaloMode(p, n, ncomp, ghost, exchanges, perCell, model, true)
+	at, rstats, info := runHaloMode(p, n, ncomp, ghost, exchanges, perCell, model, false)
+	pt.BlockingTime, pt.AsyncTime = bt, at
+	pt.MsgsPerExchange = info.SendMsgs
+	pt.RegionsPerExchange = info.RemoteTransfers
+	pt.NeighborRankSum = info.NeighborRanks
+	pt.WordsPerExchange = info.SendWords
+	for _, s := range rstats {
+		if s.CommSeconds > pt.StallSeconds {
+			pt.StallSeconds = s.CommSeconds
+		}
+		if s.HiddenSeconds > pt.HiddenSeconds {
+			pt.HiddenSeconds = s.HiddenSeconds
+		}
+	}
+	return pt
+}
+
+// CommFig9Point compares the strong-scaling virtual time of one machine
+// size in both exchange modes (the full Fig 9 pipeline: chemistry,
+// reductions, RKC stages).
+type CommFig9Point struct {
+	P            int     `json:"p"`
+	BlockingTime float64 `json:"blocking_time_s"`
+	AsyncTime    float64 `json:"async_time_s"`
+	// Improvement is (blocking - async) / blocking.
+	Improvement        float64 `json:"improvement"`
+	MsgsPerExchange    int     `json:"msgs_per_exchange"`
+	RegionsPerExchange int     `json:"regions_per_exchange"`
+	NeighborRankSum    int     `json:"neighbor_rank_sum"`
+	StallSeconds       float64 `json:"stall_seconds"`
+	HiddenSeconds      float64 `json:"hidden_seconds"`
+}
+
+// RunCommFig9 reruns the constant-global-problem study with blocking
+// and overlapped exchanges.
+func RunCommFig9(costs CellCosts, globalN int, ps []int) []CommFig9Point {
+	var out []CommFig9Point
+	for _, p := range ps {
+		base := ScalingConfig{P: p, GlobalNx: globalN, GlobalNy: globalN, Costs: costs}
+		blk := base
+		blk.Blocking = true
+		rb := RunScaling(blk)
+		ra := RunScaling(base)
+		pt := CommFig9Point{
+			P:                  p,
+			BlockingTime:       rb.Time,
+			AsyncTime:          ra.Time,
+			MsgsPerExchange:    ra.MsgsPerExchange,
+			RegionsPerExchange: ra.RegionsPerExchange,
+			NeighborRankSum:    ra.NeighborRankSum,
+			StallSeconds:       ra.CommSeconds,
+			HiddenSeconds:      ra.HiddenSeconds,
+		}
+		if rb.Time > 0 {
+			pt.Improvement = (rb.Time - ra.Time) / rb.Time
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// CommReport is the BENCH_comm.json payload.
+type CommReport struct {
+	// Model names the network cost model (alpha/beta) used throughout.
+	Model string `json:"model"`
+	// Costs are the pinned per-cell rates.
+	Costs CellCosts   `json:"costs"`
+	Halo  []HaloPoint `json:"halo"`
+	// Fig9GlobalN is the strong-scaling mesh edge.
+	Fig9GlobalN int             `json:"fig9_global_n"`
+	Fig9        []CommFig9Point `json:"fig9"`
+}
+
+// BuildCommReport runs the full communication study: halo microbench
+// over haloPs at mesh haloN, and the Fig 9 comparison over ps at
+// globalN. Deterministic (virtual clocks, pinned costs).
+func BuildCommReport(costs CellCosts, haloN int, haloPs []int, globalN int, ps []int) CommReport {
+	rep := CommReport{
+		Model:       "CPlant (60us, 132MB/s)",
+		Costs:       costs,
+		Fig9GlobalN: globalN,
+	}
+	for _, p := range haloPs {
+		rep.Halo = append(rep.Halo, RunHalo(p, haloN, 20, costs.DiffStage, mpi.CPlantModel))
+	}
+	rep.Fig9 = RunCommFig9(costs, globalN, ps)
+	return rep
+}
+
+// PrintCommReport renders the study as text.
+func PrintCommReport(w io.Writer, rep CommReport) {
+	fmt.Fprintf(w, "Halo exchange microbenchmark (%s; 10 comps, ghost 2; 20 exchanges)\n\n", rep.Model)
+	fmt.Fprintf(w, "%4s %6s %12s %12s %8s %8s %8s %12s\n",
+		"P", "N", "blocking(s)", "async(s)", "msgs", "regions", "nbrs", "hidden(s)")
+	for _, h := range rep.Halo {
+		fmt.Fprintf(w, "%4d %6d %12.6f %12.6f %8d %8d %8d %12.6f\n",
+			h.P, h.N, h.BlockingTime, h.AsyncTime,
+			h.MsgsPerExchange, h.RegionsPerExchange, h.NeighborRankSum, h.HiddenSeconds)
+	}
+	fmt.Fprintf(w, "\nFig 9 strong scaling, %dx%d mesh, blocking vs overlapped exchange\n\n", rep.Fig9GlobalN, rep.Fig9GlobalN)
+	fmt.Fprintf(w, "%4s %12s %12s %10s %8s %8s\n", "P", "blocking(s)", "async(s)", "improve", "msgs", "regions")
+	for _, pt := range rep.Fig9 {
+		fmt.Fprintf(w, "%4d %12.4f %12.4f %9.2f%% %8d %8d\n",
+			pt.P, pt.BlockingTime, pt.AsyncTime, 100*pt.Improvement,
+			pt.MsgsPerExchange, pt.RegionsPerExchange)
+	}
+	fmt.Fprintf(w, "\nExpected shape: async <= blocking everywhere (flight time hides behind interior compute),\n")
+	fmt.Fprintf(w, "and msgs <= nbrs <= regions (coalescing packs every region for a peer into one message).\n")
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+
+	"ccahydro/internal/mpi"
+)
+
+// TestHaloAsyncBeatsBlocking runs the halo microbenchmark at a small
+// size and checks the headline claims: overlapped virtual time never
+// exceeds blocking, flight time is actually hidden, and message counts
+// obey msgs <= nbrs and msgs <= regions (coalescing merged something).
+func TestHaloAsyncBeatsBlocking(t *testing.T) {
+	for _, p := range []int{2, 4} {
+		pt := RunHalo(p, 64, 10, ReferenceCosts.DiffStage, mpi.CPlantModel)
+		if pt.AsyncTime > pt.BlockingTime {
+			t.Errorf("P=%d: async %.6fs slower than blocking %.6fs", p, pt.AsyncTime, pt.BlockingTime)
+		}
+		if pt.AsyncTime >= pt.BlockingTime && pt.StallSeconds == 0 {
+			// Equal times are only acceptable when nothing stalled at all.
+			t.Errorf("P=%d: no improvement (%.6fs) yet stall recorded", p, pt.AsyncTime)
+		}
+		if pt.HiddenSeconds <= 0 {
+			t.Errorf("P=%d: overlap hid no flight time", p)
+		}
+		if pt.MsgsPerExchange > pt.NeighborRankSum {
+			t.Errorf("P=%d: %d msgs/exchange > %d neighbor-rank sum", p, pt.MsgsPerExchange, pt.NeighborRankSum)
+		}
+		if pt.MsgsPerExchange >= pt.RegionsPerExchange {
+			t.Errorf("P=%d: coalescing merged nothing (%d msgs, %d regions)",
+				p, pt.MsgsPerExchange, pt.RegionsPerExchange)
+		}
+		if pt.WordsPerExchange <= 0 {
+			t.Errorf("P=%d: no exchange volume recorded", p)
+		}
+	}
+}
+
+// TestCommFig9AsyncImproves reruns the small Fig 9 pipeline in both
+// modes and checks the overlapped exchange is never slower, and
+// strictly faster wherever receive stalls existed to hide.
+func TestCommFig9AsyncImproves(t *testing.T) {
+	for _, pt := range RunCommFig9(ReferenceCosts, 100, []int{2, 4}) {
+		if pt.AsyncTime > pt.BlockingTime {
+			t.Errorf("P=%d: async %.4fs slower than blocking %.4fs", pt.P, pt.AsyncTime, pt.BlockingTime)
+		}
+		if pt.Improvement <= 0 {
+			t.Errorf("P=%d: improvement %.4f%%, want > 0", pt.P, 100*pt.Improvement)
+		}
+		if pt.MsgsPerExchange > pt.NeighborRankSum {
+			t.Errorf("P=%d: %d msgs/exchange > %d neighbor-rank sum", pt.P, pt.MsgsPerExchange, pt.NeighborRankSum)
+		}
+		if pt.HiddenSeconds <= 0 {
+			t.Errorf("P=%d: overlap hid no flight time", pt.P)
+		}
+	}
+}

@@ -170,6 +170,12 @@ type ScalingConfig struct {
 	NComp int
 	// Dx is the physical mesh spacing (paper: 10 mm / 100 = 1e-4 m).
 	Dx float64
+	// Blocking disables the exchange/compute overlap: every ghost
+	// exchange completes before any stage compute is charged (the
+	// pre-asynchronous baseline). The default overlapped mode charges
+	// the interior compute between ExchangeGhostsStart and Finish, so
+	// message flight hides behind it exactly as in the drivers.
+	Blocking bool
 }
 
 func (c *ScalingConfig) defaults() {
@@ -213,6 +219,19 @@ type ScalingResult struct {
 	RankTimes []float64
 	// Stages is the RKC stage count used per step.
 	Stages int
+	// Sends / WordsSent total the point-to-point traffic over all ranks
+	// (collective-internal messages included).
+	Sends, WordsSent int
+	// CommSeconds is the largest per-rank virtual time lost to message
+	// stalls; HiddenSeconds the largest per-rank flight time hidden
+	// behind compute via the nonblocking engine.
+	CommSeconds, HiddenSeconds float64
+	// MsgsPerExchange is this run's coalesced send count for one level-0
+	// ghost exchange, summed over ranks; NeighborRankSum the matching
+	// sum of per-rank neighbor counts (coalescing invariant:
+	// MsgsPerExchange <= NeighborRankSum). RegionsPerExchange is the
+	// uncoalesced region count — the old per-region message cost.
+	MsgsPerExchange, NeighborRankSum, RegionsPerExchange int
 }
 
 // RunScaling executes one weak- or strong-scaling point.
@@ -277,6 +296,10 @@ func RunScaling(cfg ScalingConfig) ScalingResult {
 	}
 	owners := amr.GreedyBalancer{}.Assign(blocks, 0, cfg.P, work)
 
+	rstats := make([]mpi.CommStats, cfg.P)
+	msgs := make([]int, cfg.P)
+	nbrs := make([]int, cfg.P)
+	regions := make([]int, cfg.P)
 	world := mpi.Run(cfg.P, cfg.Model, func(comm *mpi.Comm) {
 		h := amr.NewHierarchyDecomposed(domain, 2, 1, cfg.P, blocks, owners)
 		d := field.New("phi", h, cfg.NComp, 2, comm)
@@ -299,6 +322,13 @@ func RunScaling(cfg ScalingConfig) ScalingResult {
 			}
 		}
 		cells := hot + cold
+		// Interior/strip split mirroring evalLevelOverlapped: inner
+		// cells never read ghosts and compute while messages fly.
+		var innerCells int
+		for _, pd := range d.LocalPatches(0) {
+			innerCells += pd.Interior().Grow(-d.Ghost).NumCells()
+		}
+		stripCells := cells - innerCells
 
 		for step := 0; step < cfg.Steps; step++ {
 			// Implicit chemistry, cell by cell (no communication; the
@@ -311,17 +341,42 @@ func RunScaling(cfg ScalingConfig) ScalingResult {
 
 			// RKC stages: each evaluation exchanges ghosts for real and
 			// charges the calibrated per-cell stage cost; the combined
-			// error norm is one more reduction.
+			// error norm is one more reduction. Overlapped mode charges
+			// the interior compute while the coalesced messages are in
+			// flight — the strip compute waits for Finish.
 			for e := 0; e < stages+1; e++ {
-				d.ExchangeGhosts(0)
-				comm.Charge(float64(cells) * cfg.Costs.DiffStage)
+				if cfg.Blocking {
+					d.ExchangeGhosts(0)
+					comm.Charge(float64(cells) * cfg.Costs.DiffStage)
+				} else {
+					ex := d.ExchangeGhostsStart(0)
+					comm.Charge(float64(innerCells) * cfg.Costs.DiffStage)
+					ex.Finish()
+					comm.Charge(float64(stripCells) * cfg.Costs.DiffStage)
+				}
 			}
 			comm.Allreduce(mpi.OpSum, []float64{1, float64(cells)})
 		}
+		info := d.ExchangeInfo(0)
+		msgs[comm.Rank()] = info.SendMsgs
+		nbrs[comm.Rank()] = info.NeighborRanks
+		regions[comm.Rank()] = info.RemoteTransfers
+		rstats[comm.Rank()] = comm.Stats()
 	})
 
 	for r := 0; r < cfg.P; r++ {
 		res.RankTimes[r] = world.RankTime(r)
+		res.Sends += rstats[r].Sends
+		res.WordsSent += rstats[r].WordsSent
+		if rstats[r].CommSeconds > res.CommSeconds {
+			res.CommSeconds = rstats[r].CommSeconds
+		}
+		if rstats[r].HiddenSeconds > res.HiddenSeconds {
+			res.HiddenSeconds = rstats[r].HiddenSeconds
+		}
+		res.MsgsPerExchange += msgs[r]
+		res.NeighborRankSum += nbrs[r]
+		res.RegionsPerExchange += regions[r]
 	}
 	res.Time = world.MaxVirtualTime()
 	res.CellsPerRank = gnx * gny / cfg.P

@@ -14,10 +14,14 @@ import (
 type CvodeComponent struct {
 	svc    cca.Services
 	solver *cvode.Solver
-	rhs    RHSPort // fetched once; invocation is then one interface dispatch
-	dim    int
-	rtol   float64
-	atol   float64
+	// rhs is fetched once; invocation is then one interface dispatch.
+	// Guarded by rhsOnce: worker integrators resolve it lazily from
+	// pool goroutines.
+	rhs     RHSPort
+	rhsOnce sync.Once
+	dim     int
+	rtol    float64
+	atol    float64
 	// accumulated stats across calls; guarded by statsMu because
 	// worker integrators report from pool goroutines.
 	statsMu sync.Mutex
@@ -42,13 +46,13 @@ func (cc *CvodeComponent) SetServices(svc cca.Services) error {
 // pattern: connecting ports moves an interface pointer, and a method
 // invocation costs one dispatch, not a framework lookup.
 func (cc *CvodeComponent) rhsPort() RHSPort {
-	if cc.rhs == nil {
+	cc.rhsOnce.Do(func() {
 		p, err := cc.svc.GetPort("rhs")
 		if err != nil {
 			panic(err)
 		}
 		cc.rhs = p.(RHSPort)
-	}
+	})
 	return cc.rhs
 }
 

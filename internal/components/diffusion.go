@@ -3,6 +3,7 @@ package components
 import (
 	"sync"
 
+	"ccahydro/internal/amr"
 	"ccahydro/internal/cca"
 	"ccahydro/internal/chem"
 	"ccahydro/internal/field"
@@ -152,10 +153,23 @@ type cellProps struct {
 // filled; out receives dPhi/dt on the interior. Safe for concurrent
 // calls on different patches.
 func (dp *DiffusionPhysics) EvalPatch(pd, out *field.PatchData, dx, dy float64) {
+	dp.EvalRegion(pd, out, pd.Interior(), dx, dy)
+}
+
+// EvalRegion implements RegionRHSPort: EvalPatch restricted to a
+// sub-box of the interior. Properties are evaluated over the region
+// grown by one cell (the stencil support); per-cell arithmetic is
+// identical to a full-patch evaluation, so any disjoint partition of
+// the interior reproduces EvalPatch bit for bit. Safe for concurrent
+// calls on disjoint regions.
+func (dp *DiffusionPhysics) EvalRegion(pd, out *field.PatchData, region amr.Box, dx, dy float64) {
+	if region.Empty() {
+		return
+	}
 	tp, cp := dp.ports()
 	mech := cp.Mechanism()
 	nsp := mech.NumSpecies()
-	b := pd.Interior()
+	b := region
 	g := b.Grow(1)
 
 	// Evaluate properties on the interior grown by one (the stencil

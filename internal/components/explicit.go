@@ -203,17 +203,28 @@ func (ei *ExplicitIntegrator) AdvanceLevel(mesh MeshPort, name string, level int
 	lv := lc.lv
 	dim := lv.dim()
 
+	// The ghost protocol splits around the exchange so interior cells are
+	// evaluated while seam messages are in flight (evalLevelOverlapped):
+	// the pre-exchange part is the coarse-level fill, the post part the
+	// level's own physical BCs.
+	preExchange := func() {
+		if isGrace && level > 0 {
+			gc.Apply(name, level-1)
+			gc.FillCoarseFineGhosts(name, level)
+		}
+	}
+	applyBC := func() {
+		if isGrace {
+			gc.Apply(name, level)
+		}
+	}
 	f := func(_ float64, y, ydot []float64) {
 		pool.ForEach(len(patches), func(_, i int) {
 			lv.scatterPatch(i, lc.offs[i], y)
 		})
-		if isGrace {
-			gc.FillAllGhosts(name, level)
-		} else {
-			d.ExchangeGhosts(level)
-		}
+		evalLevelOverlapped(d, level, patches, lc.rhsData, dx, dy, pool, rhsPort,
+			preExchange, applyBC)
 		pool.ForEach(len(patches), func(_, i int) {
-			rhsPort.EvalPatch(patches[i], lc.rhsData[i], dx, dy)
 			lv.gatherFrom(i, lc.offs[i], lc.rhsData[i], ydot)
 		})
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"ccahydro/internal/amr"
 	"ccahydro/internal/cca"
 	"ccahydro/internal/euler"
 	"ccahydro/internal/field"
@@ -147,6 +148,13 @@ func (iv *InviscidFlux) solver() *euler.Solver {
 // different patches.
 func (iv *InviscidFlux) EvalPatch(pd, out *field.PatchData, dx, dy float64) {
 	iv.solver().RHSPatch(pd, out, dx, dy)
+}
+
+// EvalRegion implements RegionRHSPort: the same flux divergence
+// restricted to a sub-box. Face fluxes are pure functions of the cells
+// behind them, so disjoint regions reproduce EvalPatch bit for bit.
+func (iv *InviscidFlux) EvalRegion(pd, out *field.PatchData, region amr.Box, dx, dy float64) {
+	iv.solver().RHSRegion(pd, out, region, dx, dy)
 }
 
 // CharacteristicQuantities determines the characteristic speeds for

@@ -18,9 +18,12 @@ import (
 // constant-pressure chemistry RHS, and writes the result back.
 // Parameter "P" is the open-domain pressure (default 1 atm).
 type ImplicitIntegrator struct {
-	svc  cca.Services
-	p0   float64
-	chem ChemistryPort
+	svc cca.Services
+	p0  float64
+	// chem is guarded by chemOnce: cellRHS.Eval runs on pool
+	// goroutines inside the per-worker solvers.
+	chem     ChemistryPort
+	chemOnce sync.Once
 
 	// rhs context for the current cell integration.
 	nsp int
@@ -48,13 +51,13 @@ func (ii *ImplicitIntegrator) SetServices(svc cca.Services) error {
 }
 
 func (ii *ImplicitIntegrator) chemistry() ChemistryPort {
-	if ii.chem == nil {
+	ii.chemOnce.Do(func() {
 		p, err := ii.svc.GetPort("chemistry")
 		if err != nil {
 			panic(err)
 		}
 		ii.chem = p.(ChemistryPort)
-	}
+	})
 	return ii.chem
 }
 

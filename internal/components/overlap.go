@@ -1,0 +1,66 @@
+package components
+
+import (
+	"ccahydro/internal/exec"
+	"ccahydro/internal/field"
+)
+
+// regionRHS resolves the optional region-evaluation extension of a
+// patch-RHS wire. Proxy components (PatchRHSMonitor) implement
+// EvalRegion by delegation and report through SupportsRegion whether
+// the component actually behind the wire does too.
+func regionRHS(rhs PatchRHSPort) RegionRHSPort {
+	rr, ok := rhs.(RegionRHSPort)
+	if !ok {
+		return nil
+	}
+	if p, ok := rhs.(interface{ SupportsRegion() bool }); ok && !p.SupportsRegion() {
+		return nil
+	}
+	return rr
+}
+
+// evalLevelOverlapped runs the ghost protocol for one level and writes
+// the RHS of every local patch into out, overlapping the same-level
+// exchange with compute when the RHS wire supports region evaluation:
+//
+//	preExchange              coarse-level BCs + coarse–fine fill
+//	ExchangeGhostsStart      seam messages go into flight
+//	evaluate inner regions   interior.Grow(-Ghost): reads never leave
+//	                         the interior (stencil ≤ Ghost)
+//	Finish                   drain the exchange
+//	applyBC                  physical BC fills read seam ghosts, so
+//	                         they must follow Finish
+//	evaluate boundary strips the ≤ 4 interior strips within Ghost of
+//	                         a patch edge
+//
+// The split is engaged uniformly (serial and parallel, any pool width)
+// so every configuration exercises identical arithmetic; RegionRHSPort
+// providers guarantee disjoint regions reproduce EvalPatch bit for
+// bit. Without region support the call degrades to the blocking order:
+// exchange, BCs, full-patch evaluation.
+func evalLevelOverlapped(d *field.DataObject, level int, patches, out []*field.PatchData,
+	dx, dy float64, pool *exec.Pool, rhs PatchRHSPort, preExchange, applyBC func()) {
+	preExchange()
+	rr := regionRHS(rhs)
+	if rr == nil {
+		d.ExchangeGhosts(level)
+		applyBC()
+		pool.ForEach(len(patches), func(_, i int) {
+			rhs.EvalPatch(patches[i], out[i], dx, dy)
+		})
+		return
+	}
+	ex := d.ExchangeGhostsStart(level)
+	pool.ForEach(len(patches), func(_, i int) {
+		rr.EvalRegion(patches[i], out[i], patches[i].Interior().Grow(-d.Ghost), dx, dy)
+	})
+	ex.Finish()
+	applyBC()
+	pool.ForEach(len(patches), func(_, i int) {
+		inner := patches[i].Interior().Grow(-d.Ghost)
+		for _, strip := range patches[i].Interior().Subtract(inner) {
+			rr.EvalRegion(patches[i], out[i], strip, dx, dy)
+		}
+	})
+}

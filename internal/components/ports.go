@@ -168,6 +168,19 @@ type PatchRHSPort interface {
 	EvalPatch(pd, out *field.PatchData, dx, dy float64)
 }
 
+// RegionRHSPort is an optional extension of PatchRHSPort: the same
+// evaluation restricted to a sub-box of the patch interior, cell-for-
+// cell identical to EvalPatch over that box. Drivers that overlap ghost
+// exchange with compute probe for it: interior cells (which never read
+// ghosts) are evaluated while messages are in flight, boundary strips
+// after the exchange completes. Providers must guarantee that splitting
+// the interior into disjoint regions reproduces EvalPatch bit for bit.
+type RegionRHSPort interface {
+	// EvalRegion writes dPhi/dt into out over region, a sub-box of pd's
+	// interior, reading pd only within region grown by the stencil.
+	EvalRegion(pd, out *field.PatchData, region amr.Box, dx, dy float64)
+}
+
 // ExplicitIntegratorPort advances a set of Data Objects over a time
 // step (paper type (c): ports that accept arrays of Data Objects and
 // act on them in a synchronized manner).

@@ -104,11 +104,22 @@ func (rk *ExplicitIntegratorRK2) AdvanceLevel(mesh MeshPort, name string, level 
 		save[i].CopyRegion(patches[i], patches[i].GrownBox())
 	})
 
+	// The flux evaluation of each stage overlaps the seam exchange with
+	// interior compute (evalLevelOverlapped): coarse-level fills precede
+	// the exchange, the level's physical BCs follow its completion.
+	preExchange := func() {
+		if level > 0 {
+			bc.Apply(name, level-1)
+			d.FillCoarseFineGhosts(level, field.ProlongLinear)
+		}
+	}
+	applyBC := func() { bc.Apply(name, level) }
+
 	// Stage 1: U1 = U + dt L(U).
-	rk.fillGhosts(mesh, bc, name, level)
+	evalLevelOverlapped(d, level, patches, rhs, dx, dy, pool, rhsPort,
+		preExchange, applyBC)
 	pool.ForEach(len(patches), func(_, i int) {
 		pd := patches[i]
-		rhsPort.EvalPatch(pd, rhs[i], dx, dy)
 		b := pd.Interior()
 		for k := 0; k < d.NComp; k++ {
 			for j := b.Lo[1]; j <= b.Hi[1]; j++ {
@@ -120,10 +131,10 @@ func (rk *ExplicitIntegratorRK2) AdvanceLevel(mesh MeshPort, name string, level 
 	})
 
 	// Stage 2: U^{n+1} = (U + U1 + dt L(U1)) / 2.
-	rk.fillGhosts(mesh, bc, name, level)
+	evalLevelOverlapped(d, level, patches, rhs, dx, dy, pool, rhsPort,
+		preExchange, applyBC)
 	pool.ForEach(len(patches), func(_, i int) {
 		pd := patches[i]
-		rhsPort.EvalPatch(pd, rhs[i], dx, dy)
 		b := pd.Interior()
 		for k := 0; k < d.NComp; k++ {
 			for j := b.Lo[1]; j <= b.Hi[1]; j++ {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ccahydro/internal/amr"
 	"ccahydro/internal/cca"
 	"ccahydro/internal/field"
 )
@@ -103,6 +104,9 @@ type RHSMonitor struct {
 	inner RHSPort
 	tp    TimingPort
 	label string
+	// once guards the lazy port fetch: Eval may first run on pool
+	// goroutines when the downstream integrator fans out.
+	once sync.Once
 }
 
 // SetServices implements cca.Component.
@@ -119,20 +123,18 @@ func (rm *RHSMonitor) SetServices(svc cca.Services) error {
 }
 
 func (rm *RHSMonitor) fetch() {
-	if rm.inner == nil {
+	rm.once.Do(func() {
 		p, err := rm.svc.GetPort("inner")
 		if err != nil {
 			panic(err)
 		}
 		rm.inner = p.(RHSPort)
-	}
-	if rm.tp == nil {
-		p, err := rm.svc.GetPort("timing")
+		tp, err := rm.svc.GetPort("timing")
 		if err != nil {
 			panic(err)
 		}
-		rm.tp = p.(TimingPort)
-	}
+		rm.tp = tp.(TimingPort)
+	})
 }
 
 // Dim implements RHSPort.
@@ -157,6 +159,9 @@ type PatchRHSMonitor struct {
 	inner PatchRHSPort
 	tp    TimingPort
 	label string
+	// once guards the lazy port fetch: EvalPatch/EvalRegion run on
+	// pool goroutines inside the level drivers' fan-outs.
+	once sync.Once
 }
 
 // SetServices implements cca.Component.
@@ -173,20 +178,18 @@ func (pm *PatchRHSMonitor) SetServices(svc cca.Services) error {
 }
 
 func (pm *PatchRHSMonitor) fetch() {
-	if pm.inner == nil {
+	pm.once.Do(func() {
 		p, err := pm.svc.GetPort("inner")
 		if err != nil {
 			panic(err)
 		}
 		pm.inner = p.(PatchRHSPort)
-	}
-	if pm.tp == nil {
-		p, err := pm.svc.GetPort("timing")
+		tp, err := pm.svc.GetPort("timing")
 		if err != nil {
 			panic(err)
 		}
-		pm.tp = p.(TimingPort)
-	}
+		pm.tp = tp.(TimingPort)
+	})
 }
 
 // EvalPatch implements PatchRHSPort.
@@ -194,5 +197,28 @@ func (pm *PatchRHSMonitor) EvalPatch(pd, out *field.PatchData, dx, dy float64) {
 	pm.fetch()
 	start := time.Now()
 	pm.inner.EvalPatch(pd, out, dx, dy)
+	pm.tp.Record(pm.label, time.Since(start).Seconds())
+}
+
+// SupportsRegion reports whether the wrapped component provides
+// RegionRHSPort; drivers consult it (via regionRHS) before engaging
+// the overlapped split through the proxy.
+func (pm *PatchRHSMonitor) SupportsRegion() bool {
+	pm.fetch()
+	_, ok := pm.inner.(RegionRHSPort)
+	return ok
+}
+
+// EvalRegion passes RegionRHSPort through the proxy when the inner
+// component offers it, so splicing a monitor into a wire does not
+// silently disable the drivers' exchange/compute overlap.
+func (pm *PatchRHSMonitor) EvalRegion(pd, out *field.PatchData, region amr.Box, dx, dy float64) {
+	pm.fetch()
+	rr, ok := pm.inner.(RegionRHSPort)
+	if !ok {
+		panic("components: PatchRHSMonitor inner port does not provide EvalRegion")
+	}
+	start := time.Now()
+	rr.EvalRegion(pd, out, region, dx, dy)
 	pm.tp.Record(pm.label, time.Since(start).Seconds())
 }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"ccahydro/internal/amr"
 	"ccahydro/internal/exec"
 	"ccahydro/internal/field"
 )
@@ -167,7 +168,21 @@ func putSweep(s []Conserved) { sweepPool.Put(&s) }
 // separated by a barrier (ForEachChunk blocks), so y-sweep Adds always
 // see completed x-sweep Sets.
 func (s *Solver) RHSPatch(pd, out *field.PatchData, dx, dy float64) {
-	b := pd.Interior()
+	s.RHSRegion(pd, out, pd.Interior(), dx, dy)
+}
+
+// RHSRegion is RHSPatch restricted to a sub-box of the interior. Each
+// face flux is a pure function of the four stencil cells behind it, so
+// fluxes on a region boundary are recomputed identically to a
+// full-patch sweep and any disjoint partition of the interior
+// reproduces RHSPatch bit for bit. Cells of region must stay at least
+// two cells from data the caller considers unfilled (the MUSCL stencil
+// reads ±2 in the sweep direction).
+func (s *Solver) RHSRegion(pd, out *field.PatchData, region amr.Box, dx, dy float64) {
+	b := region
+	if b.Empty() {
+		return
+	}
 	nx, ny := b.Size()
 	invDx, invDy := 1/dx, 1/dy
 

@@ -98,7 +98,7 @@ func (d *DataObject) fillShadows(level int) map[int]*PatchData {
 		}
 	}
 	ts := d.buildShadowTransfers(level, shadows)
-	d.executeTransfers(ts, d.Local, func(id int) *PatchData { return shadows[id] })
+	d.executeTransfers(phaseShadow, level, ts, d.Local, func(id int) *PatchData { return shadows[id] })
 	return shadows
 }
 
@@ -254,7 +254,7 @@ func (d *DataObject) RestrictLevel(level int) {
 			})
 		}
 	}
-	d.executeTransfers(ts, func(id int) *PatchData { return temps[id] }, d.Local)
+	d.executeTransfers(phaseRestrict, level, ts, func(id int) *PatchData { return temps[id] }, d.Local)
 }
 
 // Remap moves this object's data onto a rebuilt hierarchy: each new
@@ -287,7 +287,7 @@ func (d *DataObject) Remap(newH *amr.Hierarchy, kind ProlongKind) *DataObject {
 				})
 			}
 		}
-		nd.executeTransfers(ts, d.Local, nd.Local)
+		nd.executeTransfers(phaseRemap, l, ts, d.Local, nd.Local)
 	}
 	return nd
 }

@@ -119,6 +119,23 @@ func (pd *PatchData) pack(region amr.Box) []float64 {
 	return buf
 }
 
+// packAppend serializes all components of region onto buf. Unlike pack
+// it refuses out-of-storage regions instead of clipping: coalesced
+// messages require sender and receiver to agree on exact sizes computed
+// from replicated metadata.
+func (pd *PatchData) packAppend(region amr.Box, buf []float64) []float64 {
+	if !pd.gbox.ContainsBox(region) {
+		panic(fmt.Sprintf("field: pack region %v outside storage %v", region, pd.gbox))
+	}
+	for c := 0; c < pd.NComp; c++ {
+		for j := region.Lo[1]; j <= region.Hi[1]; j++ {
+			row := pd.Comp(c)[pd.Offset(region.Lo[0], j) : pd.Offset(region.Hi[0], j)+1]
+			buf = append(buf, row...)
+		}
+	}
+	return buf
+}
+
 // unpack deserializes a buffer produced by pack over the same region.
 func (pd *PatchData) unpack(region amr.Box, buf []float64) {
 	r := region.Intersect(pd.gbox)
@@ -165,6 +182,11 @@ type DataObject struct {
 	rank int
 
 	local map[int]*PatchData // patch ID -> data, owned patches only
+
+	// sched caches the per-level ghost-exchange schedule; entries are
+	// invalidated by hierarchy generation changes (regrids).
+	sched          map[int]*ghostSchedule
+	scheduleBuilds int
 }
 
 // New allocates a DataObject over h's current patches. comm may be nil
@@ -231,10 +253,11 @@ type transfer struct {
 }
 
 // executeTransfers runs a deterministic, collectively identical list of
-// transfers. Local pairs copy directly; remote pairs pack/send and
-// recv/unpack with tags derived from the list position, relying on the
-// substrate's per-pair FIFO ordering for cross-phase safety.
-func (d *DataObject) executeTransfers(ts []transfer, getSrc, getDst func(id int) *PatchData) {
+// transfers. All regions bound for the same destination rank travel in
+// one coalesced message tagged by (phase, level); receives and local
+// copies are applied strictly in list order, because some callers (the
+// shadow fill) rely on later transfers overwriting earlier ones.
+func (d *DataObject) executeTransfers(ph phase, level int, ts []transfer, getSrc, getDst func(id int) *PatchData) {
 	if d.comm == nil {
 		for _, t := range ts {
 			dst := getDst(t.dstID)
@@ -245,18 +268,25 @@ func (d *DataObject) executeTransfers(ts []transfer, getSrc, getDst func(id int)
 		}
 		return
 	}
-	// Post sends first (buffered), then receives, then local copies.
-	for i, t := range ts {
-		if t.srcOwner == d.rank && t.dstOwner != d.rank {
-			src := getSrc(t.srcID)
-			d.comm.Send(t.dstOwner, i, src.pack(t.region))
-		}
+	plan := d.buildPlan(ts)
+	tag := streamTag(ph, level)
+	reqs := make([]*mpi.Request, len(plan.recvs))
+	for k, pm := range plan.recvs {
+		reqs[k] = d.comm.Irecv(pm.rank, tag)
 	}
+	for _, pm := range plan.sends {
+		d.comm.Isend(pm.rank, tag, d.packPeer(pm, ts, getSrc))
+	}
+	bufs := make([][]float64, len(reqs))
+	for k, req := range reqs {
+		bufs[k], _ = req.Wait()
+	}
+	views := make([][]float64, len(ts))
+	d.sliceViews(plan, ts, bufs, views)
 	for i, t := range ts {
 		switch {
 		case t.dstOwner == d.rank && t.srcOwner != d.rank:
-			buf, _ := d.comm.Recv(t.srcOwner, i)
-			getDst(t.dstID).unpack(t.region, buf)
+			getDst(t.dstID).unpack(t.region, views[i])
 		case t.dstOwner == d.rank && t.srcOwner == d.rank:
 			getDst(t.dstID).CopyRegion(getSrc(t.srcID), t.region)
 		}
@@ -264,27 +294,10 @@ func (d *DataObject) executeTransfers(ts []transfer, getSrc, getDst func(id int)
 }
 
 // ExchangeGhosts fills the ghost cells of every patch on a level from
-// overlapping same-level neighbors. All ranks must call it (collective).
+// overlapping same-level neighbors, using the cached coalesced schedule.
+// All ranks must call it (collective).
 func (d *DataObject) ExchangeGhosts(level int) {
-	lv := d.h.Level(level)
-	var ts []transfer
-	for _, dst := range lv.Patches {
-		g := dst.Box.Grow(d.Ghost)
-		for _, src := range lv.Patches {
-			if src.ID == dst.ID {
-				continue
-			}
-			// Ghost region of dst covered by src's interior.
-			for _, r := range regionsOf(g.Intersect(src.Box), dst.Box) {
-				ts = append(ts, transfer{
-					srcID: src.ID, dstID: dst.ID,
-					srcOwner: src.Owner, dstOwner: dst.Owner,
-					region: r,
-				})
-			}
-		}
-	}
-	d.executeTransfers(ts, d.Local, d.Local)
+	d.ExchangeGhostsStart(level).Finish()
 }
 
 // regionsOf subtracts the interior from an overlap, leaving the pieces

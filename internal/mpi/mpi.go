@@ -255,6 +255,11 @@ type Comm struct {
 	sends     int
 	recvs     int
 	wordsSent int
+	// commSeconds is virtual time visibly spent communicating (inline
+	// blocking-send charges + receive stalls); hiddenSeconds is transfer
+	// time overlapped with compute (see CommStats).
+	commSeconds   float64
+	hiddenSeconds float64
 }
 
 // Rank returns this endpoint's logical rank in [0, Size).
@@ -316,9 +321,11 @@ func (c *Comm) Send(dst int, tag int, data []float64) {
 	wdst := c.worldRankOf(dst)
 	cp := make([]float64, len(data))
 	copy(cp, data)
-	sendT := c.world.clocks[c.rank].add(c.world.model.Cost(len(data)))
+	cost := c.world.model.Cost(len(data))
+	sendT := c.world.clocks[c.rank].add(cost)
 	c.sends++
 	c.wordsSent += len(data)
+	c.commSeconds += cost
 	box := c.world.box(wdst, c.rank)
 	box.mu.Lock()
 	box.queue = append(box.queue, message{from: c.Rank(), tag: tag, comm: c.commID, data: cp, sendTime: sendT})
@@ -355,8 +362,9 @@ func (c *Comm) Recv(src int, tag int) ([]float64, Status) {
 }
 
 func (c *Comm) finishRecv(m message) {
-	c.world.clocks[c.rank].advanceTo(m.sendTime)
-	c.recvs++
+	// A blocking receive posts and waits at the same instant, so none of
+	// the message's flight time is hidden behind compute.
+	c.finishRecvAt(m, c.world.clocks[c.rank].now())
 }
 
 // recvAny scans every inbound mailbox for a matching message; between

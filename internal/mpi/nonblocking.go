@@ -1,0 +1,237 @@
+package mpi
+
+import "fmt"
+
+// Nonblocking point-to-point primitives (MPI_Isend/Irecv/Wait/Test) and
+// the virtual-clock accounting that makes compute/communication overlap
+// visible to the simulated-cluster experiments.
+//
+// The clock model: a blocking Send charges alpha + n*beta to the
+// sender's clock inline (the rank sits in the library while the message
+// goes out). An Isend instead stamps the message's network completion
+// time at now + alpha + n*beta and returns without advancing the
+// sender's clock — the transfer proceeds "on the NIC" concurrently with
+// whatever the rank computes next. The receiver's Wait advances its
+// clock to max(its own time, the message's completion time), so a
+// message completes at max(post + alpha + n*beta, wait time): compute
+// performed between Irecv and Wait hides message latency, and only the
+// remaining stall is ever paid.
+
+// Request is the handle returned by Isend/Irecv. A send request is
+// complete at creation (sends are buffered); a receive request completes
+// in Wait/Test when a matching message is consumed.
+type Request struct {
+	c      *Comm
+	isSend bool
+
+	// Receive matching state.
+	src, tag int
+	postTime float64 // receiver's virtual clock when the Irecv was posted
+
+	done   bool
+	data   []float64
+	status Status
+}
+
+// Isend posts a buffered nonblocking send. The message's network
+// completion time is stamped at now + Cost(n), but the sender's clock
+// does not advance: the transfer overlaps with subsequent compute. The
+// returned request is already complete (MPI_Bsend semantics).
+func (c *Comm) Isend(dst int, tag int, data []float64) *Request {
+	if dst < 0 || dst >= c.Size() {
+		panic(fmt.Sprintf("mpi: isend to invalid rank %d (size %d)", dst, c.Size()))
+	}
+	wdst := c.worldRankOf(dst)
+	cp := make([]float64, len(data))
+	copy(cp, data)
+	cost := c.world.model.Cost(len(data))
+	sendT := c.world.clocks[c.rank].now() + cost
+	c.sends++
+	c.wordsSent += len(data)
+	// Relative to a blocking Send, the whole transfer cost is hidden
+	// behind the sender's ongoing compute.
+	c.hiddenSeconds += cost
+	box := c.world.box(wdst, c.rank)
+	box.mu.Lock()
+	box.queue = append(box.queue, message{from: c.Rank(), tag: tag, comm: c.commID, data: cp, sendTime: sendT})
+	box.cond.Broadcast()
+	box.mu.Unlock()
+	c.world.noteArrival(wdst)
+	return &Request{c: c, isSend: true, done: true}
+}
+
+// Irecv posts a nonblocking receive for (src, tag). src may be
+// AnySource and tag may be AnyTag. The matching message is consumed by
+// Wait or a successful Test; compute charged between the post and the
+// wait counts toward hiding the message's flight time.
+func (c *Comm) Irecv(src int, tag int) *Request {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("mpi: irecv from invalid rank %d (size %d)", src, c.Size()))
+	}
+	return &Request{c: c, src: src, tag: tag, postTime: c.world.clocks[c.rank].now()}
+}
+
+// Wait blocks until the request completes and returns the payload (nil
+// with a zero Status for send requests).
+func (r *Request) Wait() ([]float64, Status) {
+	if r.done {
+		return r.data, r.status
+	}
+	var m message
+	if r.src == AnySource {
+		m = r.c.matchAny(r.tag)
+	} else {
+		m = r.c.match(r.src, r.tag)
+	}
+	r.c.finishRecvAt(m, r.postTime)
+	r.done = true
+	r.data = m.data
+	r.status = Status{Source: m.from, Tag: m.tag, Count: len(m.data)}
+	return r.data, r.status
+}
+
+// Test polls the request without blocking. It returns true once the
+// request is complete; payload and status are then available from Wait.
+func (r *Request) Test() bool {
+	if r.done {
+		return true
+	}
+	if r.src == AnySource {
+		panic("mpi: Test on AnySource request not supported")
+	}
+	wsrc := r.c.worldRankOf(r.src)
+	box := r.c.world.box(r.c.rank, wsrc)
+	box.mu.Lock()
+	var m message
+	found := false
+	for i, cand := range box.queue {
+		if cand.comm == r.c.commID && (r.tag == AnyTag || cand.tag == r.tag) {
+			m = cand
+			box.queue = append(box.queue[:i], box.queue[i+1:]...)
+			found = true
+			break
+		}
+	}
+	box.mu.Unlock()
+	if !found {
+		return false
+	}
+	r.c.finishRecvAt(m, r.postTime)
+	r.done = true
+	r.data = m.data
+	r.status = Status{Source: m.from, Tag: m.tag, Count: len(m.data)}
+	return true
+}
+
+// Waitall completes every request in order.
+func Waitall(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// match blocks until a message matching (src, tag) is available and
+// removes it from the mailbox.
+func (c *Comm) match(src, tag int) message {
+	wsrc := c.worldRankOf(src)
+	box := c.world.box(c.rank, wsrc)
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		for i, m := range box.queue {
+			if m.comm == c.commID && (tag == AnyTag || m.tag == tag) {
+				box.queue = append(box.queue[:i], box.queue[i+1:]...)
+				return m
+			}
+		}
+		box.cond.Wait()
+	}
+}
+
+// matchAny is match over all sources, parking on the arrival signal
+// between scans (same strategy as recvAny).
+func (c *Comm) matchAny(tag int) message {
+	w := c.world
+	for {
+		w.arrivalMu[c.rank].Lock()
+		seen := w.arrivals[c.rank]
+		w.arrivalMu[c.rank].Unlock()
+
+		for logical := 0; logical < c.Size(); logical++ {
+			wsrc := c.worldRankOf(logical)
+			if wsrc == c.rank {
+				continue
+			}
+			box := w.box(c.rank, wsrc)
+			box.mu.Lock()
+			for i, m := range box.queue {
+				if m.comm == c.commID && (tag == AnyTag || m.tag == tag) {
+					box.queue = append(box.queue[:i], box.queue[i+1:]...)
+					box.mu.Unlock()
+					return m
+				}
+			}
+			box.mu.Unlock()
+		}
+
+		w.arrivalMu[c.rank].Lock()
+		for w.arrivals[c.rank] == seen {
+			w.arrivalCond[c.rank].Wait()
+		}
+		w.arrivalMu[c.rank].Unlock()
+	}
+}
+
+// finishRecvAt completes a receive posted at postTime: the receiver's
+// clock advances to the message's network completion time, the residual
+// stall is charged as visible comm time, and the flight-time slice the
+// receiver covered with its own compute since the post is credited as
+// hidden.
+func (c *Comm) finishRecvAt(m message, postTime float64) {
+	cl := c.world.clocks[c.rank]
+	now := cl.now()
+	stall := m.sendTime - now
+	if stall < 0 {
+		stall = 0
+	}
+	covered := m.sendTime
+	if now < covered {
+		covered = now
+	}
+	covered -= postTime
+	if covered < 0 {
+		covered = 0
+	}
+	c.commSeconds += stall
+	c.hiddenSeconds += covered
+	cl.advanceTo(m.sendTime)
+	c.recvs++
+}
+
+// CommStats is the traffic summary of one endpoint.
+type CommStats struct {
+	// Sends and Recvs count point-to-point messages.
+	Sends, Recvs int
+	// WordsSent is the total float64 words sent point-to-point.
+	WordsSent int
+	// CommSeconds is virtual time the rank visibly spent on
+	// communication: inline blocking-send charges plus receive stalls.
+	CommSeconds float64
+	// HiddenSeconds is virtual transfer time that never reached the
+	// rank's clock: Isend costs running behind compute plus the
+	// message-flight slices covered between Irecv and Wait.
+	HiddenSeconds float64
+}
+
+// Stats returns this endpoint's accumulated traffic statistics.
+func (c *Comm) Stats() CommStats {
+	return CommStats{
+		Sends:         c.sends,
+		Recvs:         c.recvs,
+		WordsSent:     c.wordsSent,
+		CommSeconds:   c.commSeconds,
+		HiddenSeconds: c.hiddenSeconds,
+	}
+}

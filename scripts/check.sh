@@ -17,7 +17,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel engine + drivers)"
-go test -race ./internal/exec/... ./internal/components/... ./internal/core/...
+echo "== go test -race (parallel engine + drivers + message substrate)"
+go test -race ./internal/exec/... ./internal/components/... ./internal/core/... \
+	./internal/mpi/... ./internal/field/...
 
 echo "OK"
