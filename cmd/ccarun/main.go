@@ -5,6 +5,9 @@
 //	ccarun -np 4 script.rc
 //	ccarun -list                  # show the component palette
 //	ccarun -arena script.rc      # print the assembly without running "go"
+//	ccarun -np 4 -trace out.json script.rc   # Perfetto trace of the run
+//	ccarun -obs script.rc                    # port-call summary table
+//	ccarun -metrics :8080 script.rc          # /metrics, /debug/vars, /debug/pprof
 //
 // Script grammar (one command per line, # comments):
 //
@@ -20,11 +23,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+
+	_ "expvar"         // /debug/vars on the metrics server
+	_ "net/http/pprof" // /debug/pprof on the metrics server
 
 	"ccahydro/internal/cca"
 	"ccahydro/internal/components"
 	"ccahydro/internal/mpi"
+	"ccahydro/internal/obs"
 )
 
 func main() {
@@ -32,6 +41,9 @@ func main() {
 	list := flag.Bool("list", false, "list the component palette and exit")
 	arena := flag.Bool("arena", false, "execute everything except 'go' commands and print the assembly")
 	network := flag.String("network", "cplant", "virtual network model: cplant, fastethernet, zero")
+	tracePath := flag.String("trace", "", "write a merged Chrome/Perfetto trace of the run to this file")
+	obsTable := flag.Bool("obs", false, "print the port-call summary table after the run")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run executes")
 	flag.Parse()
 
 	repo := components.NewRepository()
@@ -82,20 +94,81 @@ func main() {
 		model = mpi.ZeroModel
 	}
 
+	// One observability session per rank when any consumer asks for it;
+	// with no consumer the interceptor stays off and every hot path runs
+	// exactly as without this build.
+	var group *obs.Group
+	if *tracePath != "" || *obsTable || *metricsAddr != "" {
+		group = obs.NewGroup(*np)
+	}
+
+	if *metricsAddr != "" {
+		// expvar and pprof self-register on the default mux; /metrics
+		// serves the live merged registry in Prometheus text format.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			group.MergedSnapshot().WritePrometheus(w)
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics on http://%s/metrics (also /debug/vars, /debug/pprof)\n", ln.Addr())
+		go http.Serve(ln, nil) //nolint:errcheck // dies with the process
+	}
+
 	if *np == 1 {
 		f := cca.NewFramework(repo, nil)
+		if group != nil {
+			f.SetObservability(group.Rank(0))
+		}
 		if err := script.Execute(f); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return
+	} else {
+		res := cca.RunSCMD(*np, model, repo, func(f *cca.Framework, comm *mpi.Comm) error {
+			if group != nil {
+				f.SetObservability(group.Rank(comm.Rank()))
+			}
+			return script.Execute(f)
+		})
+		if err := res.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("SCMD job complete: %d ranks, simulated run time %.3f s\n", *np, res.MaxVirtualTime())
 	}
-	res := cca.RunSCMD(*np, model, repo, func(f *cca.Framework, _ *mpi.Comm) error {
-		return script.Execute(f)
-	})
-	if err := res.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+
+	if group != nil {
+		if err := writeObsOutputs(group, *tracePath, *obsTable); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
-	fmt.Printf("SCMD job complete: %d ranks, simulated run time %.3f s\n", *np, res.MaxVirtualTime())
+}
+
+// writeObsOutputs emits the post-run artifacts: the merged Perfetto
+// trace file and/or the port-call summary table.
+func writeObsOutputs(group *obs.Group, tracePath string, table bool) error {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			return err
+		}
+		if err := group.WriteTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (open with https://ui.perfetto.dev or chrome://tracing)\n", tracePath)
+	}
+	if table {
+		fmt.Println("\nport-call summary (all ranks merged):")
+		group.MergedSnapshot().WriteCallTable(os.Stdout)
+	}
+	return nil
 }

@@ -10,10 +10,13 @@
 //	experiments -exp fig8           # weak-scaling series
 //	experiments -exp fig9           # strong-scaling vs ideal
 //	experiments -exp comm           # halo-exchange study (blocking vs async)
+//	experiments -exp obs            # observability: interceptor overhead + trace shape
 //	experiments -exp all            # everything
 //
 // -quick shrinks the parameter sweeps for a fast sanity pass. -commjson
-// writes the comm study to a JSON file (the BENCH_comm.json artifact).
+// writes the comm study to a JSON file (the BENCH_comm.json artifact);
+// -obsjson does the same for the observability study (BENCH_obs.json),
+// and -obstrace writes the instrumented run's Perfetto trace.
 package main
 
 import (
@@ -30,10 +33,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, all")
+	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	dump := flag.String("dump", "", "directory for CSV/PGM field dumps (fig3, fig4, fig6)")
 	commJSON := flag.String("commjson", "", "path for the comm study JSON artifact (exp comm)")
+	obsJSON := flag.String("obsjson", "", "path for the observability JSON artifact (exp obs)")
+	obsTrace := flag.String("obstrace", "", "path for the instrumented run's Perfetto trace (exp obs)")
 	flag.Parse()
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
@@ -199,6 +204,49 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *commJSON)
+		}
+		return nil
+	})
+
+	run("obs", func() error {
+		cells := []int{1000, 5000}
+		if *quick {
+			cells = []int{200}
+		}
+		rows, err := bench.RunObsOverhead(cells, bench.DefaultTable4Config.BaseTEnd)
+		if err != nil {
+			return err
+		}
+		bench.PrintObsOverhead(os.Stdout, rows)
+		fmt.Println()
+		rep, group, err := bench.RunObsTrace()
+		if err != nil {
+			return err
+		}
+		bench.PrintObsTrace(os.Stdout, rep)
+		if *obsJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*obsJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *obsJSON)
+		}
+		if *obsTrace != "" {
+			f, err := os.Create(*obsTrace)
+			if err != nil {
+				return err
+			}
+			if err := group.WriteTrace(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (open with https://ui.perfetto.dev)\n", *obsTrace)
 		}
 		return nil
 	})

@@ -31,6 +31,7 @@ import (
 	"sync"
 
 	"ccahydro/internal/mpi"
+	"ccahydro/internal/obs"
 )
 
 // Port is the marker interface for CCA ports. Concrete ports are
@@ -90,6 +91,13 @@ type Services interface {
 	// InstanceName returns the name this component was instantiated
 	// under.
 	InstanceName() string
+
+	// Observability returns the framework's observability session, or
+	// nil when observability is disabled (the default). Components use
+	// it to open tracer spans around their own phases; the framework
+	// itself uses it to interpose on port wires. A nil result is safe
+	// to call span helpers on.
+	Observability() *obs.Obs
 }
 
 // Sentinel errors returned by framework and services operations.
@@ -124,6 +132,10 @@ type usesEntry struct {
 	providerPort string
 	// fetches counts outstanding GetPort minus ReleasePort calls.
 	fetches int
+	// proxy caches the instrumented wrapper around conn when the
+	// framework's observability is on; nil otherwise or until the
+	// first GetPort. Invalidated by Connect/Disconnect.
+	proxy Port
 }
 
 // instance is one live component inside a framework.
@@ -183,6 +195,12 @@ func (in *instance) GetPort(name string) (Port, error) {
 		return nil, fmt.Errorf("%w: %q on %q", ErrPortNotConnected, name, in.name)
 	}
 	u.fetches++
+	if o := in.fw.obs; o != nil {
+		if u.proxy == nil {
+			u.proxy = wrapPort(o, in.name, name, u.portType, u.conn)
+		}
+		return u.proxy, nil
+	}
 	return u.conn, nil
 }
 
@@ -196,9 +214,10 @@ func (in *instance) ReleasePort(name string) {
 	}
 }
 
-func (in *instance) Comm() *mpi.Comm      { return in.fw.comm }
-func (in *instance) Parameters() *TypeMap { return in.params }
-func (in *instance) InstanceName() string { return in.name }
+func (in *instance) Comm() *mpi.Comm       { return in.fw.comm }
+func (in *instance) Parameters() *TypeMap  { return in.params }
+func (in *instance) InstanceName() string  { return in.name }
+func (in *instance) Observability() *obs.Obs { return in.fw.obs }
 
 // Connection describes one live uses→provides wire, for introspection
 // (the GUI "arena" view of Fig 1 rendered as text).
@@ -219,6 +238,9 @@ type Framework struct {
 	instances map[string]*instance
 	order     []string // instantiation order, for deterministic listings
 	pending   map[string]*TypeMap
+	// obs is the rank's observability session; nil (the default) keeps
+	// GetPort returning raw provider ports with zero added work.
+	obs *obs.Obs
 }
 
 // NewFramework creates an empty framework resolving classes against
@@ -316,6 +338,7 @@ func (f *Framework) Connect(user, usesPort, provider, providesPort string) error
 	u.conn = p.port
 	u.provider = provider
 	u.providerPort = providesPort
+	u.proxy = nil
 	return nil
 }
 
@@ -341,6 +364,7 @@ func (f *Framework) Disconnect(user, usesPort string) error {
 	u.conn = nil
 	u.provider = ""
 	u.providerPort = ""
+	u.proxy = nil
 	return nil
 }
 

@@ -44,6 +44,14 @@ func (ec *ExecutionComponent) Pool() *exec.Pool {
 			ec.pool = exec.Default()
 		} else {
 			ec.pool = exec.NewPool(w)
+			// Private pools can carry the framework's tracer (the
+			// shared default pool serves every rank, so per-rank
+			// worker tracks would interleave there).
+			if ec.svc != nil {
+				if o := ec.svc.Observability(); o != nil {
+					ec.pool.SetTracer(o.Tracer())
+				}
+			}
 		}
 	}
 	return ec.pool

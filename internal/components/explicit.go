@@ -173,6 +173,10 @@ func (lv *levelVector) gatherFrom(p, o int, src *field.PatchData, out []float64)
 // flat vector, so the parallel sweep is race-free and, because block
 // offsets are fixed, bit-for-bit identical to the serial sweep.
 func (ei *ExplicitIntegrator) AdvanceLevel(mesh MeshPort, name string, level int, t0, t1 float64) error {
+	o := ei.svc.Observability()
+	if o != nil {
+		defer o.Span("rkc", obsLevelName("rkc.advance", level))()
+	}
 	rhsPort := ei.port("patchRHS").(PatchRHSPort)
 	eigPort := ei.port("maxEigen").(SpectralRadiusPort)
 	d := mesh.Field(name)
@@ -219,6 +223,9 @@ func (ei *ExplicitIntegrator) AdvanceLevel(mesh MeshPort, name string, level int
 		}
 	}
 	f := func(_ float64, y, ydot []float64) {
+		if o != nil {
+			defer o.Span("rkc", obsLevelName("rkc.stage", level))()
+		}
 		pool.ForEach(len(patches), func(_, i int) {
 			lv.scatterPatch(i, lc.offs[i], y)
 		})

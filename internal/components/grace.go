@@ -79,6 +79,7 @@ func (gc *GrACEComponent) Declare(name string, ncomp, ghost int) *field.DataObje
 		return d
 	}
 	d := field.New(name, gc.h, ncomp, ghost, gc.svc.Comm())
+	d.SetObs(gc.svc.Observability())
 	gc.fields[name] = d
 	gc.bcs[name] = field.UniformBC(field.BCSpec{Kind: field.BCOutflow})
 	return d
@@ -109,6 +110,9 @@ func (gc *GrACEComponent) SetBCSet(name string, bcs field.BCSet) error {
 func (gc *GrACEComponent) Regrid(flags []*amr.FlagField, opt amr.RegridOptions) {
 	gc.mu.Lock()
 	defer gc.mu.Unlock()
+	if o := gc.svc.Observability(); o != nil {
+		defer o.Span("samr", "regrid")()
+	}
 	if opt.Cluster.Efficiency == 0 {
 		opt = gc.regridOpt
 	}

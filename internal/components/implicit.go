@@ -95,6 +95,9 @@ type cellRef struct {
 // cvode.Solver.Init fully resets solver state per cell — so the result
 // of every cell is bit-for-bit the serial result regardless of width.
 func (ii *ImplicitIntegrator) AdvanceChemistry(mesh MeshPort, name string, level int, dt float64) (int, error) {
+	if o := ii.svc.Observability(); o != nil {
+		defer o.Span("chem", obsLevelName("chem.implicit", level))()
+	}
 	ip, err := ii.svc.GetPort("integrator")
 	if err != nil {
 		return 0, err

@@ -91,10 +91,17 @@ type RegridPort interface {
 }
 
 // StatsPort collects scalar diagnostics (the paper's
-// StatisticsComponent).
+// StatisticsComponent). Providers must be safe for concurrent use:
+// drivers record from the SCMD loop while monitors and exporters read.
 type StatsPort interface {
+	// Record appends value to the named series.
 	Record(key string, value float64)
+	// Get returns a copy of the named series (nil if absent): callers
+	// own the slice and may retain or mutate it freely while recording
+	// continues.
 	Get(key string) []float64
+	// Keys returns the recorded series names in sorted order, so
+	// iteration over a snapshot is deterministic across runs and ranks.
 	Keys() []string
 }
 

@@ -2,6 +2,7 @@ package components
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"ccahydro/internal/cca"
@@ -147,8 +148,13 @@ func (dr *RDDriver) run() error {
 		return nil
 	}
 
+	obsSession := dr.svc.Observability()
 	t := 0.0
 	for step := 0; step < steps; step++ {
+		var stepSpan func()
+		if obsSession != nil {
+			stepSpan = obsSession.Span("driver", "rd.step "+strconv.Itoa(step))
+		}
 		start := time.Now()
 		switch splitting {
 		case "strang":
@@ -179,6 +185,9 @@ func (dr *RDDriver) run() error {
 		}
 		if regrid != nil && regridEvery > 0 && (step+1)%regridEvery == 0 {
 			regrid.EstimateAndRegrid(mesh, name)
+		}
+		if stepSpan != nil {
+			stepSpan()
 		}
 	}
 

@@ -76,6 +76,9 @@ func (rk *ExplicitIntegratorRK2) fillGhosts(mesh MeshPort, bc BCPort, name strin
 // independent (own ghost-padded read array, own interior writes) and
 // fan out over the execution pool.
 func (rk *ExplicitIntegratorRK2) AdvanceLevel(mesh MeshPort, name string, level int, t0, t1 float64) error {
+	if o := rk.svc.Observability(); o != nil {
+		defer o.Span("hydro", obsLevelName("rk2.advance", level))()
+	}
 	rhsPort, bc := rk.ports()
 	d := mesh.Field(name)
 	dx, dy := mesh.Spacing(level)

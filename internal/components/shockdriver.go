@@ -3,6 +3,7 @@ package components
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"ccahydro/internal/amr"
 	"ccahydro/internal/cca"
@@ -115,8 +116,13 @@ func (sd *ShockDriver) run() error {
 		gamma = euler.AirGamma
 	}
 
+	obsSession := sd.svc.Observability()
 	t := 0.0
 	for step := 0; step < maxSteps && t < tEnd; step++ {
+		var stepSpan func()
+		if obsSession != nil {
+			stepSpan = obsSession.Span("driver", "shock.step "+strconv.Itoa(step))
+		}
 		// Global stable dt: min over levels, reduced in the port.
 		dt := math.Inf(1)
 		h := mesh.Hierarchy()
@@ -154,6 +160,9 @@ func (sd *ShockDriver) run() error {
 
 		if regrid != nil && regridEvery > 0 && (step+1)%regridEvery == 0 {
 			regrid.EstimateAndRegrid(mesh, name)
+		}
+		if stepSpan != nil {
+			stepSpan()
 		}
 	}
 	sd.FinalTime = t

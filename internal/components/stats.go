@@ -10,6 +10,14 @@ import (
 // StatisticsComponent collects named scalar time series — the paper's
 // StatisticsComponent, reused by the flame and shock assemblies for
 // diagnostics output.
+//
+// Concurrency and aliasing contract (StatsPort): all three methods are
+// safe to call concurrently. Get returns a fresh copy, never a view of
+// the live series, so a reader holding a snapshot cannot race a
+// concurrent Record growing the backing array — and a caller mutating
+// its copy cannot corrupt the recorded history. Keys returns the series
+// names sorted, so exporters iterate deterministically regardless of
+// map order or recording interleaving.
 type StatisticsComponent struct {
 	mu     sync.Mutex
 	series map[string][]float64

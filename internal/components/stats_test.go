@@ -1,0 +1,87 @@
+package components
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestStatisticsComponentGetReturnsCopy pins the aliasing contract:
+// the slice Get hands out is the caller's to keep and mutate, and
+// recording after a Get never changes a previously taken snapshot.
+func TestStatisticsComponentGetReturnsCopy(t *testing.T) {
+	sc := &StatisticsComponent{series: make(map[string][]float64)}
+	sc.Record("x", 1)
+	sc.Record("x", 2)
+	snap := sc.Get("x")
+	snap[0] = -99            // caller mutation
+	sc.Record("x", 3)        // growth after the snapshot
+	if got := sc.Get("x"); got[0] != 1 || len(got) != 3 {
+		t.Errorf("stored series corrupted or wrong length: %v", got)
+	}
+	if len(snap) != 2 {
+		t.Errorf("snapshot changed length: %v", snap)
+	}
+	if sc.Get("missing") != nil {
+		t.Error("Get of an unknown key should be nil")
+	}
+}
+
+// TestStatisticsComponentKeysSorted pins the ordering guarantee
+// exporters rely on for deterministic output.
+func TestStatisticsComponentKeysSorted(t *testing.T) {
+	sc := &StatisticsComponent{series: make(map[string][]float64)}
+	for _, k := range []string{"zeta", "alpha", "mid", "beta"} {
+		sc.Record(k, 0)
+	}
+	keys := sc.Keys()
+	if !sort.StringsAreSorted(keys) || len(keys) != 4 {
+		t.Errorf("Keys = %v, want 4 sorted names", keys)
+	}
+}
+
+// TestStatisticsComponentConcurrentAccess exercises the full read/write
+// surface from many goroutines at once; run under -race this is the
+// data-race gate for the stats provider.
+func TestStatisticsComponentConcurrentAccess(t *testing.T) {
+	sc := &StatisticsComponent{series: make(map[string][]float64)}
+	keys := []string{"a", "b", "c"}
+	const writers, readers, perWriter = 4, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				sc.Record(keys[(w+i)%len(keys)], float64(i))
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				for _, k := range sc.Keys() {
+					if s := sc.Get(k); len(s) > 0 {
+						s[0] = -1 // a reader may scribble on its copy
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	var total int
+	for _, k := range keys {
+		s := sc.Get(k)
+		for _, v := range s {
+			if v < 0 {
+				t.Fatalf("reader mutation leaked into series %q", k)
+			}
+		}
+		total += len(s)
+	}
+	if total != writers*perWriter {
+		t.Errorf("recorded %d samples, want %d", total, writers*perWriter)
+	}
+}

@@ -3,9 +3,11 @@ package components
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"ccahydro/internal/amr"
 	"ccahydro/internal/cca"
+	"ccahydro/internal/exec"
 	"ccahydro/internal/field"
 )
 
@@ -30,6 +32,208 @@ func TestTauTimerSummary(t *testing.T) {
 	tt.WriteReport(&b)
 	if !strings.Contains(b.String(), "slow") || !strings.Contains(b.String(), "timed") {
 		t.Errorf("report missing timers:\n%s", b.String())
+	}
+}
+
+// TestTauTimerNestedTime pins the aggregation semantics under nesting:
+// an outer Time surrounding an inner Time records both timers
+// independently, and the outer total always covers the inner total
+// (inclusive timing, the TAU convention).
+func TestTauTimerNestedTime(t *testing.T) {
+	f := harness(t, func(f *cca.Framework) {
+		mustDo(t, f.Instantiate("TauTimer", "tau"))
+	})
+	comp, _ := f.Lookup("tau")
+	tt := comp.(*TauTimer)
+	const reps = 3
+	for i := 0; i < reps; i++ {
+		tt.Time("outer", func() {
+			tt.Time("inner", func() {
+				time.Sleep(time.Millisecond)
+			})
+		})
+	}
+	var outer, inner *TimingEntry
+	sum := tt.Summary()
+	for i := range sum {
+		switch sum[i].Name {
+		case "outer":
+			outer = &sum[i]
+		case "inner":
+			inner = &sum[i]
+		}
+	}
+	if outer == nil || inner == nil {
+		t.Fatalf("summary = %+v", sum)
+	}
+	if outer.Calls != reps || inner.Calls != reps {
+		t.Errorf("calls outer=%d inner=%d, want %d each", outer.Calls, inner.Calls, reps)
+	}
+	if outer.Seconds < inner.Seconds {
+		t.Errorf("inclusive outer %.6fs < inner %.6fs", outer.Seconds, inner.Seconds)
+	}
+	if inner.Seconds < reps*0.0005 {
+		t.Errorf("inner total %.6fs implausibly small for %d 1ms sleeps", inner.Seconds, reps)
+	}
+}
+
+// TestTauTimerConcurrentRecord hammers one timer sink from execution-
+// pool goroutines — the way instrumented RHS components actually share
+// a TauTimer when level drivers fan out — and checks no observation is
+// lost. Under -race this is the timer's data-race gate.
+func TestTauTimerConcurrentRecord(t *testing.T) {
+	f := harness(t, func(f *cca.Framework) {
+		mustDo(t, f.Instantiate("TauTimer", "tau"))
+	})
+	comp, _ := f.Lookup("tau")
+	tt := comp.(*TauTimer)
+	const n = 4000
+	pool := exec.NewPool(8)
+	pool.ForEach(n, func(w, i int) {
+		tt.Record("shared", 0.001)
+		if i%3 == 0 {
+			tt.Time("timed", func() {})
+		}
+		if i%97 == 0 {
+			tt.Summary() // readers interleave with writers
+		}
+	})
+	var shared, timed TimingEntry
+	for _, e := range tt.Summary() {
+		switch e.Name {
+		case "shared":
+			shared = e
+		case "timed":
+			timed = e
+		}
+	}
+	if shared.Calls != n {
+		t.Errorf("shared calls = %d, want %d (lost updates)", shared.Calls, n)
+	}
+	if got, want := shared.Seconds, float64(n)*0.001; got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("shared seconds = %v, want %v", got, want)
+	}
+	if wantTimed := (n + 2) / 3; timed.Calls != wantTimed {
+		t.Errorf("timed calls = %d, want %d", timed.Calls, wantTimed)
+	}
+}
+
+// countingRHS is a synthetic inner RHS with a known per-call latency.
+type countingRHS struct {
+	calls int
+	delay time.Duration
+}
+
+func (c *countingRHS) SetServices(svc cca.Services) error {
+	return svc.AddProvidesPort(c, "rhs", RHSPortType)
+}
+
+func (c *countingRHS) Dim() int { return 2 }
+
+func (c *countingRHS) Eval(_ float64, y, ydot []float64) {
+	c.calls++
+	if c.delay > 0 {
+		time.Sleep(c.delay)
+	}
+	ydot[0], ydot[1] = y[1], -y[0]
+}
+
+// TestRHSMonitorCountAndLatencyInvariants pins the proxy's measurement
+// contract: the timer's call count equals the number of invocations the
+// inner port actually received, and the recorded total is at least the
+// inner port's real busy time (the proxy can only add overhead, never
+// hide work).
+func TestRHSMonitorCountAndLatencyInvariants(t *testing.T) {
+	repo := NewRepository()
+	inner := &countingRHS{delay: 200 * time.Microsecond}
+	repo.Register("CountingRHS", func() cca.Component { return inner })
+	f := cca.NewFramework(repo, nil)
+	for _, inst := range [][2]string{
+		{"CountingRHS", "inner"}, {"TauTimer", "tau"}, {"RHSMonitor", "monitor"},
+	} {
+		mustDo(t, f.Instantiate(inst[0], inst[1]))
+	}
+	mustDo(t, f.Connect("monitor", "inner", "inner", "rhs"))
+	mustDo(t, f.Connect("monitor", "timing", "tau", "timing"))
+
+	monComp, _ := f.Lookup("monitor")
+	mon := monComp.(*RHSMonitor)
+	if mon.Dim() != 2 {
+		t.Fatal("Dim not delegated")
+	}
+	const n = 10
+	y, ydot := []float64{1, 0}, make([]float64, 2)
+	for i := 0; i < n; i++ {
+		mon.Eval(0, y, ydot)
+	}
+	if inner.calls != n {
+		t.Errorf("inner saw %d calls, want %d", inner.calls, n)
+	}
+	tauComp, _ := f.Lookup("tau")
+	sum := tauComp.(*TauTimer).Summary()
+	if len(sum) != 1 || sum[0].Calls != n {
+		t.Fatalf("summary = %+v, want %d monitored calls", sum, n)
+	}
+	if minBusy := float64(n) * 0.0001; sum[0].Seconds < minBusy {
+		t.Errorf("recorded %.6fs < inner busy time %.6fs", sum[0].Seconds, minBusy)
+	}
+	if ydot[0] != 0 || ydot[1] != -1 {
+		t.Errorf("proxy altered the result: %v", ydot)
+	}
+}
+
+// TestPatchRHSMonitorRegionInvariants checks the capability probe and
+// count bookkeeping of the patch proxy: SupportsRegion answers for the
+// inner component, and region evaluations are measured under the same
+// label as whole-patch ones.
+func TestPatchRHSMonitorRegionInvariants(t *testing.T) {
+	repo := NewRepository()
+	f := cca.NewFramework(repo, nil)
+	for _, inst := range [][2]string{
+		{"ThermoChemistry", "chem"}, {"DRFMComponent", "drfm"},
+		{"DiffusionPhysics", "diffusion"}, {"TauTimer", "tau"},
+		{"PatchRHSMonitor", "monitor"},
+	} {
+		mustDo(t, f.Instantiate(inst[0], inst[1]))
+	}
+	mustDo(t, f.Connect("diffusion", "transport", "drfm", "transport"))
+	mustDo(t, f.Connect("diffusion", "chemistry", "chem", "chemistry"))
+	mustDo(t, f.Connect("monitor", "inner", "diffusion", "patchRHS"))
+	mustDo(t, f.Connect("monitor", "timing", "tau", "timing"))
+
+	monComp, _ := f.Lookup("monitor")
+	mon := monComp.(*PatchRHSMonitor)
+	if !mon.SupportsRegion() {
+		t.Fatal("DiffusionPhysics provides EvalRegion; the proxy must surface it")
+	}
+
+	chemComp, _ := f.Lookup("chem")
+	mech := chemComp.(*ThermoChemistry).Mechanism()
+	nsp := mech.NumSpecies()
+	h := amr.NewHierarchy(amr.NewBox(0, 0, 7, 7), 2, 1, 1)
+	d := field.New("phi", h, 1+nsp, 2, nil)
+	pd := d.LocalPatches(0)[0]
+	Y := mech.StoichiometricH2Air()
+	g := pd.GrownBox()
+	for j := g.Lo[1]; j <= g.Hi[1]; j++ {
+		for i := g.Lo[0]; i <= g.Hi[0]; i++ {
+			pd.Set(0, i, j, 400)
+			for k, yk := range Y {
+				pd.Set(1+k, i, j, yk)
+			}
+		}
+	}
+	out := field.NewPatchData(pd.Patch, 1+nsp, 2)
+	mon.EvalPatch(pd, out, 1e-4, 1e-4)
+	mon.EvalRegion(pd, out, amr.NewBox(2, 2, 5, 5), 1e-4, 1e-4)
+	mon.EvalRegion(pd, out, amr.NewBox(0, 0, 3, 3), 1e-4, 1e-4)
+	tauComp, _ := f.Lookup("tau")
+	sum := tauComp.(*TauTimer).Summary()
+	if len(sum) != 1 || sum[0].Calls != 3 {
+		t.Errorf("summary = %+v, want 3 calls (1 patch + 2 regions) under one label", sum)
+	}
+	if sum[0].Seconds <= 0 {
+		t.Errorf("no latency recorded: %+v", sum[0])
 	}
 }
 

@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"ccahydro/internal/field"
+	"ccahydro/internal/obs"
 )
 
 // PanicError wraps a panic captured inside a pool task. It is re-raised
@@ -61,6 +62,10 @@ type job struct {
 	fn     func(w, lo, hi int)
 	fin    chan struct{}
 	pe     atomic.Pointer[PanicError]
+	// tr, when non-nil, records one span per executed chunk on worker
+	// track 1+w (captured at submission so mid-job SetTracer calls
+	// cannot tear a job's events).
+	tr *obs.Tracer
 }
 
 // bounds returns the half-open item range [lo, hi) of chunk c.
@@ -81,6 +86,9 @@ func (j *job) runChunk(c int) {
 		}
 	}()
 	lo, hi := j.bounds(c)
+	if j.tr != nil {
+		defer j.tr.SpanTid(1+c, "exec", "chunk")()
+	}
 	j.fn(c, lo, hi)
 }
 
@@ -104,7 +112,15 @@ type Pool struct {
 	width int
 	jobs  chan *job
 	start sync.Once
+	// tr holds the optional tracer; atomic so SetTracer can race with
+	// in-flight ForEach calls from other ranks sharing the pool.
+	tr atomic.Pointer[obs.Tracer]
 }
+
+// SetTracer attaches an event tracer: every subsequently executed chunk
+// records a span on worker track 1+w. nil detaches. The serial width-1
+// fast path stays span-free and allocation-free either way.
+func (p *Pool) SetTracer(t *obs.Tracer) { p.tr.Store(t) }
 
 // NewPool creates a pool with the given width (maximum parallelism and
 // worker-slot count). Width < 1 is clamped to 1. Workers are spawned
@@ -151,7 +167,7 @@ func (p *Pool) ForEachChunk(n int, fn func(w, lo, hi int)) {
 		fn(0, 0, n)
 		return
 	}
-	j := &job{n: n, chunks: int32(chunks), fn: fn, fin: make(chan struct{})}
+	j := &job{n: n, chunks: int32(chunks), fn: fn, fin: make(chan struct{}), tr: p.tr.Load()}
 	p.start.Do(p.spawn)
 	// Advertise one handle per chunk beyond the caller's own share;
 	// workers that pick up an exhausted job return immediately. Posting

@@ -171,6 +171,9 @@ func (d *DataObject) ProlongLevel(level int, kind ProlongKind) {
 	if level <= 0 || level >= d.h.NumLevels() {
 		return
 	}
+	if d.obs != nil {
+		defer d.obs.Span("samr", spanName("prolong", level))()
+	}
 	shadows := d.fillShadows(level)
 	for _, fp := range d.h.Level(level).Patches {
 		pd := d.local[fp.ID]
@@ -189,6 +192,9 @@ func (d *DataObject) FillCoarseFineGhosts(level int, kind ProlongKind) {
 	if level <= 0 || level >= d.h.NumLevels() {
 		return
 	}
+	if d.obs != nil {
+		defer d.obs.Span("samr", spanName("cfghosts", level))()
+	}
 	shadows := d.fillShadows(level)
 	for _, fp := range d.h.Level(level).Patches {
 		pd := d.local[fp.ID]
@@ -206,6 +212,9 @@ func (d *DataObject) FillCoarseFineGhosts(level int, kind ProlongKind) {
 func (d *DataObject) RestrictLevel(level int) {
 	if level <= 0 || level >= d.h.NumLevels() {
 		return
+	}
+	if d.obs != nil {
+		defer d.obs.Span("samr", spanName("restrict", level))()
 	}
 	ratio := d.h.Ratio
 	// Build coarse-space temporaries holding the averaged fine data.
@@ -264,6 +273,10 @@ func (d *DataObject) RestrictLevel(level int) {
 func (d *DataObject) Remap(newH *amr.Hierarchy, kind ProlongKind) *DataObject {
 	nd := New(d.Name, newH, d.NComp, d.Ghost, d.comm)
 	nd.Names = d.Names
+	nd.obs = d.obs
+	if d.obs != nil {
+		defer d.obs.Span("samr", "remap "+d.Name)()
+	}
 	maxL := newH.NumLevels()
 	for l := 0; l < maxL; l++ {
 		if l > 0 {

@@ -10,9 +10,11 @@ package field
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"ccahydro/internal/amr"
 	"ccahydro/internal/mpi"
+	"ccahydro/internal/obs"
 )
 
 // PatchData is the storage for one patch: NComp components over the
@@ -187,6 +189,20 @@ type DataObject struct {
 	// invalidated by hierarchy generation changes (regrids).
 	sched          map[int]*ghostSchedule
 	scheduleBuilds int
+
+	// obs, when non-nil, receives spans for the object's exchange and
+	// transfer phases. Every hot path guards on the pointer, so a nil
+	// obs adds no work.
+	obs *obs.Obs
+}
+
+// SetObs attaches an observability session to this object; transfers
+// and ghost exchanges then emit tracer spans. nil detaches.
+func (d *DataObject) SetObs(o *obs.Obs) { d.obs = o }
+
+// spanName labels a per-level phase span without fmt overhead.
+func spanName(op string, level int) string {
+	return op + " L" + strconv.Itoa(level)
 }
 
 // New allocates a DataObject over h's current patches. comm may be nil
@@ -258,6 +274,9 @@ type transfer struct {
 // copies are applied strictly in list order, because some callers (the
 // shadow fill) rely on later transfers overwriting earlier ones.
 func (d *DataObject) executeTransfers(ph phase, level int, ts []transfer, getSrc, getDst func(id int) *PatchData) {
+	if d.obs != nil {
+		defer d.obs.Span("samr", spanName("xfer."+ph.String(), level))()
+	}
 	if d.comm == nil {
 		for _, t := range ts {
 			dst := getDst(t.dstID)

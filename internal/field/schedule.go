@@ -31,6 +31,20 @@ const (
 	phaseRemap
 )
 
+func (ph phase) String() string {
+	switch ph {
+	case phaseGhost:
+		return "ghost"
+	case phaseShadow:
+		return "shadow"
+	case phaseRestrict:
+		return "restrict"
+	case phaseRemap:
+		return "remap"
+	}
+	return "phase?"
+}
+
 // streamTag derives the deterministic per-(phase, level) message tag.
 // The range sits far below the collective tag space (which grows
 // downward from -1000) and never touches user tags (>= 0). Messages
@@ -100,7 +114,13 @@ func (d *DataObject) buildPlan(ts []transfer) commPlan {
 // packPeer serializes every transfer of one coalesced message, in list
 // order, into a single buffer.
 func (d *DataObject) packPeer(pm peerMsg, ts []transfer, getSrc func(id int) *PatchData) []float64 {
-	buf := make([]float64, 0, pm.words)
+	return d.packPeerInto(make([]float64, 0, pm.words), pm, ts, getSrc)
+}
+
+// packPeerInto is packPeer into a caller-owned buffer (reset to length
+// zero first), so persistent schedules repack without allocating.
+func (d *DataObject) packPeerInto(buf []float64, pm peerMsg, ts []transfer, getSrc func(id int) *PatchData) []float64 {
+	buf = buf[:0]
 	for _, idx := range pm.items {
 		t := ts[idx]
 		buf = getSrc(t.srcID).packAppend(t.region, buf)
@@ -135,6 +155,15 @@ type ghostSchedule struct {
 	plan commPlan
 	// nbrRanks is the distinct peer set (union of send and recv peers).
 	nbrRanks []int
+
+	// Persistent exchange state (the MPI persistent-communication
+	// pattern): message sizes are fixed for the life of the schedule, so
+	// pack buffers and receive requests are allocated once and reused by
+	// every exchange. Together with the substrate's payload recycling
+	// this makes steady-state ghost exchange allocation-free.
+	sendBufs [][]float64   // one pack buffer per plan.sends entry
+	reqs     []mpi.Request // one reusable request per plan.recvs entry
+	exch     GhostExchange // the in-flight handle Start returns
 }
 
 // ghostScheduleFor returns the cached schedule for a level, rebuilding
@@ -225,26 +254,44 @@ func (d *DataObject) ExchangeInfo(level int) ExchangeInfo {
 // interior reads never race the fill, and the virtual-clock model
 // credits the compute against message flight time.
 type GhostExchange struct {
-	d     *DataObject
-	sched *ghostSchedule
-	reqs  []*mpi.Request
-	done  bool
+	d      *DataObject
+	sched  *ghostSchedule
+	active bool
 }
 
 // ExchangeGhostsStart posts the coalesced exchange for a level and
 // returns without waiting: one Isend per destination rank, one Irecv
-// per source rank, and all rank-local region copies done inline.
-// Collective; every rank must call Start and then Finish.
+// per source rank, and all rank-local region copies done inline. The
+// returned handle lives on the schedule and is reused by the next
+// exchange of the same level, so steady-state Start/Finish cycles
+// allocate nothing. Collective; every rank must call Start and then
+// Finish before the next Start on the same level.
 func (d *DataObject) ExchangeGhostsStart(level int) *GhostExchange {
 	s := d.ghostScheduleFor(level)
-	ex := &GhostExchange{d: d, sched: s}
+	if s.exch.active {
+		panic("field: ghost exchange already in flight on this level")
+	}
+	if d.obs != nil {
+		defer d.obs.Span("samr", spanName("ghost.start", level))()
+	}
+	s.exch = GhostExchange{d: d, sched: s, active: true}
 	if d.comm != nil {
 		tag := streamTag(phaseGhost, level)
-		for _, pm := range s.plan.recvs {
-			ex.reqs = append(ex.reqs, d.comm.Irecv(pm.rank, tag))
+		if s.reqs == nil && len(s.plan.recvs) > 0 {
+			s.reqs = make([]mpi.Request, len(s.plan.recvs))
 		}
-		for _, pm := range s.plan.sends {
-			d.comm.Isend(pm.rank, tag, d.packPeer(pm, s.ts, d.Local))
+		for k, pm := range s.plan.recvs {
+			d.comm.IrecvInto(&s.reqs[k], pm.rank, tag)
+		}
+		if s.sendBufs == nil && len(s.plan.sends) > 0 {
+			s.sendBufs = make([][]float64, len(s.plan.sends))
+			for k, pm := range s.plan.sends {
+				s.sendBufs[k] = make([]float64, 0, pm.words)
+			}
+		}
+		for k, pm := range s.plan.sends {
+			s.sendBufs[k] = d.packPeerInto(s.sendBufs[k], pm, s.ts, d.Local)
+			d.comm.IsendBuffered(pm.rank, tag, s.sendBufs[k])
 		}
 	}
 	for _, t := range s.ts {
@@ -256,19 +303,23 @@ func (d *DataObject) ExchangeGhostsStart(level int) *GhostExchange {
 			d.local[t.dstID].CopyRegion(d.local[t.srcID], t.region)
 		}
 	}
-	return ex
+	return &s.exch
 }
 
-// Finish waits for the posted receives and unpacks them. Idempotent.
+// Finish waits for the posted receives, unpacks them, and returns the
+// payload buffers to the substrate's pool. Idempotent.
 func (ex *GhostExchange) Finish() {
-	if ex.done {
+	if !ex.active {
 		return
 	}
-	ex.done = true
+	ex.active = false
 	d := ex.d
 	s := ex.sched
-	for k, req := range ex.reqs {
-		buf, _ := req.Wait()
+	if d.obs != nil {
+		defer d.obs.Span("samr", "ghost.finish")()
+	}
+	for k := range s.reqs {
+		buf, _ := s.reqs[k].Wait()
 		pm := s.plan.recvs[k]
 		off := 0
 		for _, idx := range pm.items {
@@ -281,5 +332,6 @@ func (ex *GhostExchange) Finish() {
 			panic(fmt.Sprintf("field: ghost message from rank %d has %d words, schedule expects %d",
 				pm.rank, len(buf), off))
 		}
+		d.comm.Recycle(buf)
 	}
 }

@@ -214,6 +214,78 @@ func TestCoalescedParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+// lockstepExchangers starts a p-rank cohort whose ranks exchange
+// ghosts once per tick of the returned step function. The ranks warm up
+// the persistent schedule (two full exchanges: the first builds plan,
+// pack buffers, and requests; the second primes the substrate's payload
+// free list) before the function returns. stop tears the cohort down.
+func lockstepExchangers(p int, blocks []amr.Box, owners []int) (step func(), stop func()) {
+	start := make([]chan struct{}, p)
+	for r := range start {
+		start[r] = make(chan struct{})
+	}
+	done := make(chan struct{}, p)
+	go mpi.Run(p, mpi.CPlantModel, func(comm *mpi.Comm) {
+		h := amr.NewHierarchyDecomposed(amr.NewBox(0, 0, 23, 23), 2, 1, p, blocks, owners)
+		d := New("u", h, 2, 2, comm)
+		paintOwned(d, 0)
+		d.ExchangeGhosts(0)
+		d.ExchangeGhosts(0)
+		done <- struct{}{}
+		for range start[comm.Rank()] {
+			d.ExchangeGhosts(0)
+			done <- struct{}{}
+		}
+	})
+	for r := 0; r < p; r++ {
+		<-done
+	}
+	step = func() {
+		for r := 0; r < p; r++ {
+			start[r] <- struct{}{}
+		}
+		for r := 0; r < p; r++ {
+			<-done
+		}
+	}
+	stop = func() {
+		for r := 0; r < p; r++ {
+			close(start[r])
+		}
+	}
+	return step, stop
+}
+
+// TestExchangeGhostsSteadyStateZeroAlloc enforces the persistent-
+// communication contract: once the schedule, pack buffers, receive
+// requests, and payload pool are warm, a full 4-rank coalesced exchange
+// allocates nothing on any rank.
+func TestExchangeGhostsSteadyStateZeroAlloc(t *testing.T) {
+	const p = 4
+	blocks, owners := raggedBlocks(24, p)
+	step, stop := lockstepExchangers(p, blocks, owners)
+	defer stop()
+	// Global malloc counting: all p ranks run inside the measured
+	// function, so any allocation anywhere in the exchange shows up.
+	if avg := testing.AllocsPerRun(10, step); avg > 0 {
+		t.Errorf("steady-state exchange allocates %.1f objects per round, want 0", avg)
+	}
+}
+
+// BenchmarkExchangeGhostsSteadyState times one lockstep 4-rank ghost
+// exchange; run with -benchmem to see the 0 allocs/op.
+func BenchmarkExchangeGhostsSteadyState(b *testing.B) {
+	const p = 4
+	blocks, owners := raggedBlocks(24, p)
+	step, stop := lockstepExchangers(p, blocks, owners)
+	defer stop()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		step()
+	}
+}
+
 // TestExchangeInfoWordsMatchTraffic pins the schedule's volume
 // accounting to the substrate's word counter.
 func TestExchangeInfoWordsMatchTraffic(t *testing.T) {

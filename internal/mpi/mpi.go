@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"ccahydro/internal/obs"
 )
 
 // Op identifies a reduction operator for Reduce/Allreduce.
@@ -86,6 +88,9 @@ type message struct {
 	comm     uint64
 	data     []float64
 	sendTime float64 // virtual time at which the sender issued the send
+	// flow is the nonzero trace flow id tying this message's send to
+	// its receive when the sender's endpoint has a tracer attached.
+	flow uint64
 }
 
 // Status describes a completed receive.
@@ -139,6 +144,15 @@ type World struct {
 	arrivalMu   []sync.Mutex
 	arrivalCond []*sync.Cond
 	arrivals    []int
+
+	// bufs is the free-list of recycled message payload buffers, keyed
+	// by exact length. Sends draw copies from it; receivers that are
+	// done with a payload return it via Comm.Recycle. Steady-state
+	// ghost exchange then moves data with zero allocations.
+	bufs struct {
+		mu   sync.Mutex
+		free map[int][][]float64
+	}
 
 	mu sync.Mutex
 }
@@ -215,6 +229,37 @@ func NewWorld(size int, model NetworkModel) *World {
 	return w
 }
 
+// takeBuf returns a payload buffer of exactly n words, reusing a
+// recycled one when available.
+func (w *World) takeBuf(n int) []float64 {
+	w.bufs.mu.Lock()
+	if list := w.bufs.free[n]; len(list) > 0 {
+		buf := list[len(list)-1]
+		w.bufs.free[n] = list[:len(list)-1]
+		w.bufs.mu.Unlock()
+		return buf
+	}
+	w.bufs.mu.Unlock()
+	return make([]float64, n)
+}
+
+// Recycle returns a payload received from Recv/Wait to the world's
+// buffer pool once the caller has finished reading it. Ownership is
+// exclusive after a receive completes (sends always copy), so recycling
+// is safe; callers that skip it simply forgo the reuse.
+func (c *Comm) Recycle(buf []float64) {
+	if buf == nil {
+		return
+	}
+	w := c.world
+	w.bufs.mu.Lock()
+	if w.bufs.free == nil {
+		w.bufs.free = make(map[int][][]float64)
+	}
+	w.bufs.free[len(buf)] = append(w.bufs.free[len(buf)], buf)
+	w.bufs.mu.Unlock()
+}
+
 func (w *World) noteArrival(dst int) {
 	w.arrivalMu[dst].Lock()
 	w.arrivals[dst]++
@@ -260,6 +305,10 @@ type Comm struct {
 	// time overlapped with compute (see CommStats).
 	commSeconds   float64
 	hiddenSeconds float64
+
+	// tracer, when non-nil, receives flight slices and flow events for
+	// every point-to-point message (see obs.go).
+	tracer *obs.Tracer
 }
 
 // Rank returns this endpoint's logical rank in [0, Size).
@@ -319,16 +368,18 @@ func (c *Comm) Send(dst int, tag int, data []float64) {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dst, c.Size()))
 	}
 	wdst := c.worldRankOf(dst)
-	cp := make([]float64, len(data))
+	cp := c.world.takeBuf(len(data))
 	copy(cp, data)
 	cost := c.world.model.Cost(len(data))
 	sendT := c.world.clocks[c.rank].add(cost)
 	c.sends++
 	c.wordsSent += len(data)
 	c.commSeconds += cost
+	m := message{from: c.Rank(), tag: tag, comm: c.commID, data: cp, sendTime: sendT}
+	c.traceSend(&m, wdst, sendT-cost, cost)
 	box := c.world.box(wdst, c.rank)
 	box.mu.Lock()
-	box.queue = append(box.queue, message{from: c.Rank(), tag: tag, comm: c.commID, data: cp, sendTime: sendT})
+	box.queue = append(box.queue, m)
 	box.cond.Broadcast()
 	box.mu.Unlock()
 	c.world.noteArrival(wdst)

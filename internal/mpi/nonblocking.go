@@ -38,11 +38,20 @@ type Request struct {
 // does not advance: the transfer overlaps with subsequent compute. The
 // returned request is already complete (MPI_Bsend semantics).
 func (c *Comm) Isend(dst int, tag int, data []float64) *Request {
+	c.IsendBuffered(dst, tag, data)
+	return &Request{c: c, isSend: true, done: true}
+}
+
+// IsendBuffered is Isend without materializing a Request handle. Send
+// requests are complete at creation, so persistent communication
+// schedules that never wait on their sends use this form to keep the
+// steady-state exchange allocation-free.
+func (c *Comm) IsendBuffered(dst int, tag int, data []float64) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mpi: isend to invalid rank %d (size %d)", dst, c.Size()))
 	}
 	wdst := c.worldRankOf(dst)
-	cp := make([]float64, len(data))
+	cp := c.world.takeBuf(len(data))
 	copy(cp, data)
 	cost := c.world.model.Cost(len(data))
 	sendT := c.world.clocks[c.rank].now() + cost
@@ -51,13 +60,14 @@ func (c *Comm) Isend(dst int, tag int, data []float64) *Request {
 	// Relative to a blocking Send, the whole transfer cost is hidden
 	// behind the sender's ongoing compute.
 	c.hiddenSeconds += cost
+	m := message{from: c.Rank(), tag: tag, comm: c.commID, data: cp, sendTime: sendT}
+	c.traceSend(&m, wdst, sendT-cost, cost)
 	box := c.world.box(wdst, c.rank)
 	box.mu.Lock()
-	box.queue = append(box.queue, message{from: c.Rank(), tag: tag, comm: c.commID, data: cp, sendTime: sendT})
+	box.queue = append(box.queue, m)
 	box.cond.Broadcast()
 	box.mu.Unlock()
 	c.world.noteArrival(wdst)
-	return &Request{c: c, isSend: true, done: true}
 }
 
 // Irecv posts a nonblocking receive for (src, tag). src may be
@@ -69,6 +79,18 @@ func (c *Comm) Irecv(src int, tag int) *Request {
 		panic(fmt.Sprintf("mpi: irecv from invalid rank %d (size %d)", src, c.Size()))
 	}
 	return &Request{c: c, src: src, tag: tag, postTime: c.world.clocks[c.rank].now()}
+}
+
+// IrecvInto posts a nonblocking receive reusing a caller-owned Request
+// value, so persistent communication schedules can repost their fixed
+// receive set every exchange without allocating (the MPI_Recv_init /
+// MPI_Start pattern). The previous contents of r are discarded.
+func (c *Comm) IrecvInto(r *Request, src int, tag int) *Request {
+	if src != AnySource && (src < 0 || src >= c.Size()) {
+		panic(fmt.Sprintf("mpi: irecv from invalid rank %d (size %d)", src, c.Size()))
+	}
+	*r = Request{c: c, src: src, tag: tag, postTime: c.world.clocks[c.rank].now()}
+	return r
 }
 
 // Wait blocks until the request completes and returns the payload (nil
@@ -208,6 +230,7 @@ func (c *Comm) finishRecvAt(m message, postTime float64) {
 	c.hiddenSeconds += covered
 	cl.advanceTo(m.sendTime)
 	c.recvs++
+	c.traceRecv(m, cl.now())
 }
 
 // CommStats is the traffic summary of one endpoint.

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate BENCH_obs.json: the observability study. Prints the
+# interceptor-overhead table (Table 4 protocol with the port-call
+# interceptor as the variable; wall seconds, host-dependent) and writes
+# the deterministic trace-shape artifact — span counts per category,
+# balanced halo flow pairs, port-call totals, virtual run time — from a
+# pinned 2-rank instrumented flame. Also drops the run's Perfetto trace
+# next to the artifact. Run from the repo root:
+#
+#   sh scripts/bench_obs.sh            # full overhead sweep
+#   sh scripts/bench_obs.sh -quick     # reduced sweep (same artifact)
+set -e
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/experiments -exp obs -obsjson BENCH_obs.json -obstrace obs_trace.json "$@"

@@ -17,8 +17,8 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel engine + drivers + message substrate)"
+echo "== go test -race (parallel engine + drivers + message substrate + observability)"
 go test -race ./internal/exec/... ./internal/components/... ./internal/core/... \
-	./internal/mpi/... ./internal/field/...
+	./internal/mpi/... ./internal/field/... ./internal/obs/... ./internal/cca/...
 
 echo "OK"
