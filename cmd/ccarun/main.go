@@ -8,6 +8,9 @@
 //	ccarun -np 4 -trace out.json script.rc   # Perfetto trace of the run
 //	ccarun -obs script.rc                    # port-call summary table
 //	ccarun -metrics :8080 script.rc          # /metrics, /debug/vars, /debug/pprof
+//	ccarun -np 4 -ckpt-every 5 -ckpt-dir ck script.rc   # checkpoint every 5 steps
+//	ccarun -np 4 -restore ck script.rc                  # resume from the latest checkpoint
+//	ccarun -np 4 -ckpt-every 2 -fault kill:1@3 script.rc # kill rank 1 at step 3; auto-recover
 //
 // Script grammar (one command per line, # comments):
 //
@@ -26,12 +29,16 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
 	_ "expvar"         // /debug/vars on the metrics server
 	_ "net/http/pprof" // /debug/pprof on the metrics server
 
 	"ccahydro/internal/cca"
+	"ccahydro/internal/ckpt"
 	"ccahydro/internal/components"
+	"ccahydro/internal/core"
 	"ccahydro/internal/mpi"
 	"ccahydro/internal/obs"
 )
@@ -44,6 +51,14 @@ func main() {
 	tracePath := flag.String("trace", "", "write a merged Chrome/Perfetto trace of the run to this file")
 	obsTable := flag.Bool("obs", false, "print the port-call summary table after the run")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /debug/vars and /debug/pprof on this address while the run executes")
+	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint cadence in driver steps (0 = off)")
+	ckptDir := flag.String("ckpt-dir", "checkpoints", "checkpoint directory")
+	restorePath := flag.String("restore", "", "manifest path or checkpoint directory to resume from")
+	faultSpec := flag.String("fault", "", "inject a rank fault (np>1): kill:RANK@STEP or stall:RANK@STEP:SECONDS")
+	maxRetries := flag.Int("max-retries", 2, "relaunch budget when a rank failure hits a checkpointed run")
+	obsSample := flag.Int("obssample", 0, "record 1 of every N port calls (0 or 1 = record all)")
+	obsFloor := flag.Duration("obsfloor", 0, "drop port-call observations faster than this latency floor")
+	traceBuf := flag.Int("tracebuf", 0, "with -trace: spill trace events to disk past N buffered per track (bounded memory)")
 	flag.Parse()
 
 	repo := components.NewRepository()
@@ -100,6 +115,19 @@ func main() {
 	var group *obs.Group
 	if *tracePath != "" || *obsTable || *metricsAddr != "" {
 		group = obs.NewGroup(*np)
+		if *obsSample > 1 || *obsFloor > 0 {
+			for r := 0; r < group.Size(); r++ {
+				group.Rank(r).SetPortCallSampling(*obsSample, *obsFloor)
+			}
+		}
+		if *traceBuf > 0 && *tracePath != "" {
+			// Bounded-memory tracing: events past the per-track cap stream
+			// to a spill directory and are merged back at WriteTrace time.
+			if err := group.StreamTo(*tracePath+".spill", *traceBuf); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if *metricsAddr != "" {
@@ -118,27 +146,88 @@ func main() {
 		go http.Serve(ln, nil) //nolint:errcheck // dies with the process
 	}
 
-	if *np == 1 {
-		f := cca.NewFramework(repo, nil)
-		if group != nil {
-			f.SetObservability(group.Rank(0))
-		}
-		if err := script.Execute(f); err != nil {
+	var fault *mpi.Fault
+	if *faultSpec != "" {
+		f, err := parseFault(*faultSpec)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			os.Exit(2)
 		}
-	} else {
-		res := cca.RunSCMD(*np, model, repo, func(f *cca.Framework, comm *mpi.Comm) error {
+		fault = f
+	}
+
+	// With checkpointing requested, the script runs in two phases: the
+	// wiring commands, then WireCheckpoint retrofits a CheckpointComponent
+	// onto the finished assembly, then the "go" commands fire.
+	ckptActive := *ckptEvery > 0 || *restorePath != ""
+	var setup, goPhase cca.Script
+	for _, c := range script.Commands {
+		if c.Verb == "go" {
+			goPhase.Commands = append(goPhase.Commands, c)
+		} else {
+			setup.Commands = append(setup.Commands, c)
+		}
+	}
+
+	runOnce := func(restore string, injectFault bool) error {
+		assemble := func(f *cca.Framework, comm *mpi.Comm) error {
 			if group != nil {
-				f.SetObservability(group.Rank(comm.Rank()))
+				r := 0
+				if comm != nil {
+					r = comm.Rank()
+				}
+				f.SetObservability(group.Rank(r))
 			}
-			return script.Execute(f)
-		})
+			if !ckptActive {
+				return script.Execute(f)
+			}
+			if err := setup.Execute(f); err != nil {
+				return err
+			}
+			if err := core.WireCheckpoint(f, *ckptDir, restore, *ckptEvery); err != nil {
+				return err
+			}
+			return goPhase.Execute(f)
+		}
+		if *np == 1 {
+			return assemble(cca.NewFramework(repo, nil), nil)
+		}
+		w := mpi.NewWorld(*np, model)
+		if injectFault && fault != nil {
+			w.InjectFault(*fault)
+		}
+		res := cca.RunSCMDOn(w, repo, assemble)
 		if err := res.Err(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("SCMD job complete: %d ranks, simulated run time %.3f s\n", *np, res.MaxVirtualTime())
+		return nil
+	}
+
+	var runErr error
+	if ckptActive {
+		// Supervised execution: a rank failure rolls the job back to the
+		// last durable checkpoint and relaunches (fault fires once).
+		attempt := 0
+		runErr = ckpt.Supervise(*ckptDir, *maxRetries, func(restore string) error {
+			attempt++
+			if attempt == 1 {
+				restore = *restorePath
+			} else {
+				from := restore
+				if from == "" {
+					from = "cold start"
+				}
+				fmt.Printf("rank failure detected; relaunching from %s (attempt %d)\n", from, attempt)
+			}
+			return runOnce(restore, attempt == 1)
+		})
+	} else {
+		runErr = runOnce("", true)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, runErr)
+		os.Exit(1)
 	}
 
 	if group != nil {
@@ -146,7 +235,56 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		if *obsSample > 1 || *obsFloor > 0 {
+			var dropped uint64
+			for r := 0; r < group.Size(); r++ {
+				dropped += group.Rank(r).PortCallDropped()
+			}
+			fmt.Printf("port-call sampling dropped %d observations\n", dropped)
+		}
 	}
+}
+
+// parseFault parses -fault specs: "kill:RANK@STEP" or
+// "stall:RANK@STEP:SECONDS" (0-based rank and driver step).
+func parseFault(s string) (*mpi.Fault, error) {
+	kind, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("ccarun: bad -fault %q (want kill:RANK@STEP or stall:RANK@STEP:SECONDS)", s)
+	}
+	f := &mpi.Fault{AtStep: -1}
+	switch kind {
+	case "kill":
+		f.Kind = mpi.FaultKill
+	case "stall":
+		f.Kind = mpi.FaultStall
+	default:
+		return nil, fmt.Errorf("ccarun: bad -fault kind %q (want kill or stall)", kind)
+	}
+	rankStr, trig, ok := strings.Cut(rest, "@")
+	if !ok {
+		return nil, fmt.Errorf("ccarun: bad -fault %q: missing @STEP", s)
+	}
+	rank, err := strconv.Atoi(rankStr)
+	if err != nil {
+		return nil, fmt.Errorf("ccarun: bad -fault rank %q: %w", rankStr, err)
+	}
+	f.Rank = rank
+	stepStr := trig
+	if f.Kind == mpi.FaultStall {
+		var secStr string
+		stepStr, secStr, ok = strings.Cut(trig, ":")
+		if !ok {
+			return nil, fmt.Errorf("ccarun: bad -fault %q: stall needs :SECONDS", s)
+		}
+		if f.StallSeconds, err = strconv.ParseFloat(secStr, 64); err != nil {
+			return nil, fmt.Errorf("ccarun: bad -fault stall seconds %q: %w", secStr, err)
+		}
+	}
+	if f.AtStep, err = strconv.Atoi(stepStr); err != nil {
+		return nil, fmt.Errorf("ccarun: bad -fault step %q: %w", stepStr, err)
+	}
+	return f, nil
 }
 
 // writeObsOutputs emits the post-run artifacts: the merged Perfetto

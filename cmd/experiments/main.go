@@ -11,12 +11,14 @@
 //	experiments -exp fig9           # strong-scaling vs ideal
 //	experiments -exp comm           # halo-exchange study (blocking vs async)
 //	experiments -exp obs            # observability: interceptor overhead + trace shape
+//	experiments -exp ckpt           # checkpoint/restart + fault-recovery study
 //	experiments -exp all            # everything
 //
 // -quick shrinks the parameter sweeps for a fast sanity pass. -commjson
 // writes the comm study to a JSON file (the BENCH_comm.json artifact);
 // -obsjson does the same for the observability study (BENCH_obs.json),
-// and -obstrace writes the instrumented run's Perfetto trace.
+// -ckptjson for the checkpoint study (BENCH_ckpt.json), and -obstrace
+// writes the instrumented run's Perfetto trace.
 package main
 
 import (
@@ -33,12 +35,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, all")
+	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, ckpt, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	dump := flag.String("dump", "", "directory for CSV/PGM field dumps (fig3, fig4, fig6)")
 	commJSON := flag.String("commjson", "", "path for the comm study JSON artifact (exp comm)")
 	obsJSON := flag.String("obsjson", "", "path for the observability JSON artifact (exp obs)")
 	obsTrace := flag.String("obstrace", "", "path for the instrumented run's Perfetto trace (exp obs)")
+	ckptJSON := flag.String("ckptjson", "", "path for the checkpoint study JSON artifact (exp ckpt)")
 	flag.Parse()
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
@@ -247,6 +250,31 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s (open with https://ui.perfetto.dev)\n", *obsTrace)
+		}
+		return nil
+	})
+
+	run("ckpt", func() error {
+		scratch, err := os.MkdirTemp("", "ckpt-study-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(scratch)
+		rep, err := bench.BuildCkptReport(os.Stdout, scratch)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		bench.PrintCkptReport(os.Stdout, rep)
+		if *ckptJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*ckptJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *ckptJSON)
 		}
 		return nil
 	})

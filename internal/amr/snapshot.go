@@ -53,6 +53,16 @@ func FromSnapshot(s Snapshot) (*Hierarchy, error) {
 		return nil, fmt.Errorf("amr: invalid snapshot header (ratio=%d maxLevels=%d ranks=%d)",
 			s.Ratio, s.MaxLevels, s.NumRanks)
 	}
+	if s.Domain.Empty() {
+		return nil, fmt.Errorf("amr: snapshot has empty domain %v", s.Domain)
+	}
+	if s.NestingBuffer < 0 || s.Regrids < 0 || s.NextID < 0 {
+		return nil, fmt.Errorf("amr: invalid snapshot counters (nesting=%d regrids=%d nextID=%d)",
+			s.NestingBuffer, s.Regrids, s.NextID)
+	}
+	if len(s.Patches) == 0 {
+		return nil, fmt.Errorf("amr: snapshot has no patches")
+	}
 	h := &Hierarchy{
 		Domain:        s.Domain,
 		Ratio:         s.Ratio,
@@ -85,6 +95,20 @@ func FromSnapshot(s Snapshot) (*Hierarchy, error) {
 			return nil, fmt.Errorf("amr: snapshot has duplicate patch ID %d", p.ID)
 		}
 		seen[p.ID] = true
+		if p.ID < 0 {
+			return nil, fmt.Errorf("amr: snapshot patch has negative ID %d", p.ID)
+		}
+		if p.Box.Empty() {
+			return nil, fmt.Errorf("amr: snapshot patch %d has empty box %v", p.ID, p.Box)
+		}
+		if !h.levels[p.Level].Domain.ContainsBox(p.Box) {
+			return nil, fmt.Errorf("amr: snapshot patch %d box %v escapes level %d domain %v",
+				p.ID, p.Box, p.Level, h.levels[p.Level].Domain)
+		}
+		if p.Owner < 0 || p.Owner >= s.NumRanks {
+			return nil, fmt.Errorf("amr: snapshot patch %d owner %d out of range (ranks=%d)",
+				p.ID, p.Owner, s.NumRanks)
+		}
 		h.levels[p.Level].Patches = append(h.levels[p.Level].Patches,
 			&Patch{ID: p.ID, Level: p.Level, Box: p.Box, Owner: p.Owner})
 		if p.ID >= h.nextID {

@@ -1,0 +1,359 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/cca"
+	"ccahydro/internal/ckpt"
+	"ccahydro/internal/components"
+	"ccahydro/internal/core"
+	"ccahydro/internal/mpi"
+)
+
+// ---- Checkpoint/restart study ------------------------------------------
+//
+// Measures the checkpoint subsystem the way the paper's Table 4
+// measures port overhead: what does durability cost, and does the
+// restore contract hold? Every value in the JSON artifact is
+// deterministic — byte counts come from the self-describing shard
+// encoding (bit-exact fields, virtual-clock metadata) and the
+// bit-for-bit flags from exact float comparison. Wall-clock save/
+// restore timings go to stdout only.
+
+// CkptCase is one configuration's result.
+type CkptCase struct {
+	Name        string
+	Driver      string
+	Ranks       int
+	Steps       int
+	Every       int
+	RestoreStep int
+	Checkpoints int    // durable checkpoints on disk after the run
+	ShardBytes  uint64 // total shard bytes of the restored checkpoint
+	ManifestLen uint64 // manifest file size in bytes
+	Patches     int    // hierarchy patches in the restored snapshot
+	Cells       int    // composite cells in the restored snapshot
+	BitForBit   bool   // restored run == uninterrupted run, exactly
+	Faulted     bool   // a rank kill was injected
+	Attempts    int    // supervisor attempts (fault case; else 1)
+	Recovered   bool   // fault case: supervisor completed the run
+}
+
+// CkptReport is the BENCH_ckpt.json artifact.
+type CkptReport struct {
+	Cases []CkptCase
+}
+
+func flameCkptParams(steps int) []core.Param {
+	return []core.Param{
+		{Instance: "grace", Key: "nx", Value: "16"}, {Instance: "grace", Key: "ny", Value: "16"},
+		{Instance: "grace", Key: "maxLevels", Value: "2"},
+		{Instance: "driver", Key: "steps", Value: fmt.Sprintf("%d", steps)},
+		{Instance: "driver", Key: "dt", Value: "1e-7"},
+		{Instance: "driver", Key: "regridEvery", Value: "2"},
+	}
+}
+
+// fieldBits flattens a field's interior cells rank-locally (the same
+// scan the core determinism tests use).
+func fieldBits(f *cca.Framework, name string) ([]float64, error) {
+	comp, err := f.Lookup("grace")
+	if err != nil {
+		return nil, err
+	}
+	gc := comp.(*components.GrACEComponent)
+	d := gc.Field(name)
+	if d == nil {
+		return nil, fmt.Errorf("bench: field %q not declared", name)
+	}
+	h := gc.Hierarchy()
+	var out []float64
+	for l := 0; l < h.NumLevels(); l++ {
+		for _, pd := range d.LocalPatches(l) {
+			b := pd.Interior()
+			for c := 0; c < d.NComp; c++ {
+				for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+					for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+						out = append(out, pd.At(c, i, j))
+					}
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// inspectManifest fills the size/shape columns from the durable files.
+func inspectManifest(c *CkptCase, dir string, step int) error {
+	path := filepath.Join(dir, ckpt.ManifestFileName(step))
+	m, err := ckpt.ReadManifest(path)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	c.ManifestLen = uint64(fi.Size())
+	for _, s := range m.Shards {
+		c.ShardBytes += s.Size
+	}
+	data, err := os.ReadFile(filepath.Join(dir, m.Shards[0].File))
+	if err != nil {
+		return err
+	}
+	shard, err := ckpt.DecodeShard(data)
+	if err != nil {
+		return err
+	}
+	h, err := amr.FromSnapshot(shard.Snapshot)
+	if err != nil {
+		return err
+	}
+	c.Patches = len(shard.Snapshot.Patches)
+	c.Cells = h.TotalCells()
+	manifests, _ := filepath.Glob(filepath.Join(dir, "*.manifest"))
+	c.Checkpoints = len(manifests)
+	return nil
+}
+
+// runFlame runs the flame serially with checkpointing wired and returns
+// the final field bits.
+func runFlame(dir, restore string, every int, params []core.Param) ([]float64, error) {
+	f := cca.NewFramework(core.Repo(), nil)
+	if err := core.AssembleReactionDiffusion(f, params...); err != nil {
+		return nil, err
+	}
+	if err := core.WireCheckpoint(f, dir, restore, every); err != nil {
+		return nil, err
+	}
+	if err := f.Go("driver", "go"); err != nil {
+		return nil, err
+	}
+	return fieldBits(f, "phi")
+}
+
+// runFlameRanks runs the flame on a caller-built world, returning each
+// rank's final field bits.
+func runFlameRanks(w *mpi.World, dir, restore string, every int, params []core.Param) ([][]float64, error) {
+	var mu sync.Mutex
+	ranks := make([][]float64, w.Size())
+	res := cca.RunSCMDOn(w, core.Repo(), func(f *cca.Framework, comm *mpi.Comm) error {
+		if err := core.AssembleReactionDiffusion(f, params...); err != nil {
+			return err
+		}
+		if err := core.WireCheckpoint(f, dir, restore, every); err != nil {
+			return err
+		}
+		if err := f.Go("driver", "go"); err != nil {
+			return err
+		}
+		bits, err := fieldBits(f, "phi")
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		ranks[comm.Rank()] = bits
+		mu.Unlock()
+		return nil
+	})
+	return ranks, res.Err()
+}
+
+func sameRankBits(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if !sameBits(a[r], b[r]) {
+			return false
+		}
+	}
+	return true
+}
+
+// BuildCkptReport runs the four checkpoint configurations. out receives
+// wall-clock progress lines (not part of the artifact).
+func BuildCkptReport(out io.Writer, scratch string) (*CkptReport, error) {
+	rep := &CkptReport{}
+	const steps = 4
+	params := flameCkptParams(steps)
+
+	// Case 1: serial flame, checkpoint every step, restore mid-run.
+	{
+		c := CkptCase{Name: "flame-serial", Driver: "rd", Ranks: 1, Steps: steps, Every: 1, RestoreStep: 1, Attempts: 1}
+		dir := filepath.Join(scratch, c.Name)
+		ref, err := runFlame(filepath.Join(scratch, c.Name+"-ref"), "", 0, params)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := runFlame(dir, "", 1, params); err != nil {
+			return nil, err
+		}
+		saveWall := time.Since(t0)
+		t0 = time.Now()
+		got, err := runFlame(filepath.Join(scratch, c.Name+"-resume"),
+			filepath.Join(dir, ckpt.ManifestFileName(c.RestoreStep)), 0, params)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "%-20s write run %8.1f ms, resume run %8.1f ms\n",
+			c.Name, saveWall.Seconds()*1e3, time.Since(t0).Seconds()*1e3)
+		c.BitForBit = sameBits(ref, got)
+		if err := inspectManifest(&c, dir, c.RestoreStep); err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+
+	// Case 2: 4-rank flame, per-rank shards + rank-0 manifest.
+	{
+		c := CkptCase{Name: "flame-4rank", Driver: "rd", Ranks: 4, Steps: steps, Every: 2, RestoreStep: 1, Attempts: 1}
+		dir := filepath.Join(scratch, c.Name)
+		t0 := time.Now()
+		ref, err := runFlameRanks(mpi.NewWorld(4, mpi.CPlantModel), dir, "", 2, params)
+		if err != nil {
+			return nil, err
+		}
+		saveWall := time.Since(t0)
+		t0 = time.Now()
+		got, err := runFlameRanks(mpi.NewWorld(4, mpi.CPlantModel), filepath.Join(scratch, c.Name+"-resume"),
+			filepath.Join(dir, ckpt.ManifestFileName(c.RestoreStep)), 0, params)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "%-20s write run %8.1f ms, resume run %8.1f ms\n",
+			c.Name, saveWall.Seconds()*1e3, time.Since(t0).Seconds()*1e3)
+		c.BitForBit = sameRankBits(ref, got)
+		if err := inspectManifest(&c, dir, c.RestoreStep); err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+
+	// Case 3: serial shock, restore reinstates the circulation series.
+	{
+		c := CkptCase{Name: "shock-serial", Driver: "shock", Ranks: 1, Steps: 6, Every: 2, RestoreStep: 3, Attempts: 1}
+		sp := []core.Param{
+			{Instance: "grace", Key: "nx", Value: "32"}, {Instance: "grace", Key: "ny", Value: "16"},
+			{Instance: "grace", Key: "lx", Value: "2.0"}, {Instance: "grace", Key: "ly", Value: "1.0"},
+			{Instance: "grace", Key: "maxLevels", Value: "2"},
+			{Instance: "driver", Key: "tEnd", Value: "1.0"},
+			{Instance: "driver", Key: "maxSteps", Value: "6"},
+			{Instance: "driver", Key: "regridEvery", Value: "2"},
+		}
+		runShock := func(dir, restore string, every int) ([]float64, *components.ShockDriver, error) {
+			f := cca.NewFramework(core.Repo(), nil)
+			if err := core.AssembleShockInterface(f, "GodunovFlux", sp...); err != nil {
+				return nil, nil, err
+			}
+			if err := core.WireCheckpoint(f, dir, restore, every); err != nil {
+				return nil, nil, err
+			}
+			if err := f.Go("driver", "go"); err != nil {
+				return nil, nil, err
+			}
+			bits, err := fieldBits(f, "U")
+			if err != nil {
+				return nil, nil, err
+			}
+			comp, _ := f.Lookup("driver")
+			return bits, comp.(*components.ShockDriver), nil
+		}
+		dir := filepath.Join(scratch, c.Name)
+		t0 := time.Now()
+		ref, drRef, err := runShock(dir, "", 2)
+		if err != nil {
+			return nil, err
+		}
+		saveWall := time.Since(t0)
+		t0 = time.Now()
+		got, drGot, err := runShock(filepath.Join(scratch, c.Name+"-resume"),
+			filepath.Join(dir, ckpt.ManifestFileName(c.RestoreStep)), 0)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "%-20s write run %8.1f ms, resume run %8.1f ms\n",
+			c.Name, saveWall.Seconds()*1e3, time.Since(t0).Seconds()*1e3)
+		c.BitForBit = sameBits(ref, got) &&
+			len(drGot.Circulations) == len(drRef.Circulations) &&
+			drGot.FinalTime == drRef.FinalTime
+		for i := range drRef.Circulations {
+			if c.BitForBit && drGot.Circulations[i] != drRef.Circulations[i] {
+				c.BitForBit = false
+			}
+		}
+		if err := inspectManifest(&c, dir, c.RestoreStep); err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+
+	// Case 4: injected rank kill + supervised recovery.
+	{
+		c := CkptCase{Name: "flame-fault-kill", Driver: "rd", Ranks: 4, Steps: steps, Every: 1, RestoreStep: 1, Faulted: true}
+		ref, err := runFlameRanks(mpi.NewWorld(4, mpi.CPlantModel), filepath.Join(scratch, c.Name+"-ref"), "", 1, params)
+		if err != nil {
+			return nil, err
+		}
+		dir := filepath.Join(scratch, c.Name)
+		var final [][]float64
+		t0 := time.Now()
+		err = ckpt.Supervise(dir, 2, func(restore string) error {
+			c.Attempts++
+			w := mpi.NewWorld(4, mpi.CPlantModel)
+			if c.Attempts == 1 {
+				w.InjectFault(mpi.Fault{Rank: 2, Kind: mpi.FaultKill, AtStep: 2, AtSend: -1})
+			}
+			ranks, err := runFlameRanks(w, dir, restore, 1, params)
+			if err != nil {
+				return err
+			}
+			final = ranks
+			return nil
+		})
+		fmt.Fprintf(out, "%-20s kill rank 2 @ step 2, supervised recovery %8.1f ms (%d attempts)\n",
+			c.Name, time.Since(t0).Seconds()*1e3, c.Attempts)
+		c.Recovered = err == nil
+		c.BitForBit = err == nil && sameRankBits(ref, final)
+		if err := inspectManifest(&c, dir, steps-1); err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+	return rep, nil
+}
+
+// PrintCkptReport renders the study as a table.
+func PrintCkptReport(w io.Writer, rep *CkptReport) {
+	fmt.Fprintf(w, "%-20s %-6s %5s %5s %5s %9s %8s %7s %6s %10s %9s\n",
+		"case", "driver", "ranks", "steps", "every", "shardB", "maniB", "patches", "cells", "bit4bit", "recovered")
+	for _, c := range rep.Cases {
+		rec := "-"
+		if c.Faulted {
+			rec = fmt.Sprintf("%v/%d", c.Recovered, c.Attempts)
+		}
+		fmt.Fprintf(w, "%-20s %-6s %5d %5d %5d %9d %8d %7d %6d %10v %9s\n",
+			c.Name, c.Driver, c.Ranks, c.Steps, c.Every, c.ShardBytes, c.ManifestLen,
+			c.Patches, c.Cells, c.BitForBit, rec)
+	}
+}

@@ -214,9 +214,9 @@ func (in *instance) ReleasePort(name string) {
 	}
 }
 
-func (in *instance) Comm() *mpi.Comm       { return in.fw.comm }
-func (in *instance) Parameters() *TypeMap  { return in.params }
-func (in *instance) InstanceName() string  { return in.name }
+func (in *instance) Comm() *mpi.Comm         { return in.fw.comm }
+func (in *instance) Parameters() *TypeMap    { return in.params }
+func (in *instance) InstanceName() string    { return in.name }
 func (in *instance) Observability() *obs.Obs { return in.fw.obs }
 
 // Connection describes one live uses→provides wire, for introspection

@@ -22,8 +22,13 @@ type SCMDResult struct {
 	Errors []error
 }
 
-// Err returns the first non-nil rank error, annotated with its rank.
+// Err returns the job's failure: a world-level fault (a killed rank —
+// whose assemble never returned, so its Errors slot stays nil) takes
+// precedence, then the first non-nil rank error annotated with its rank.
 func (r *SCMDResult) Err() error {
+	if err := r.World.Failure(); err != nil {
+		return err
+	}
 	for rank, e := range r.Errors {
 		if e != nil {
 			return fmt.Errorf("cca: rank %d: %w", rank, e)
@@ -39,9 +44,16 @@ func (r *SCMDResult) MaxVirtualTime() float64 { return r.World.MaxVirtualTime() 
 // rank-scoped communicator, and waits for all ranks. assemble typically
 // parses/executes a script or calls Instantiate/Connect/Go directly.
 func RunSCMD(size int, model mpi.NetworkModel, repo *Repository, assemble func(f *Framework, comm *mpi.Comm) error) *SCMDResult {
-	res := &SCMDResult{Errors: make([]error, size)}
+	return RunSCMDOn(mpi.NewWorld(size, model), repo, assemble)
+}
+
+// RunSCMDOn is RunSCMD over a caller-built world, so the job can be
+// launched with faults injected (or clocks pre-seeded) before any rank
+// starts. The world's size fixes the rank count.
+func RunSCMDOn(w *mpi.World, repo *Repository, assemble func(f *Framework, comm *mpi.Comm) error) *SCMDResult {
+	res := &SCMDResult{Errors: make([]error, w.Size())}
 	var mu sync.Mutex
-	res.World = mpi.Run(size, model, func(comm *mpi.Comm) {
+	res.World = mpi.RunOn(w, func(comm *mpi.Comm) {
 		f := NewFramework(repo, comm)
 		err := assemble(f, comm)
 		mu.Lock()

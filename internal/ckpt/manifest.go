@@ -1,0 +1,178 @@
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// The manifest is the durability marker. Ranks write their shards
+// asynchronously; rank 0 gathers each shard's (size, CRC) digest and
+// writes the step's manifest naming all of them. A checkpoint counts as
+// durable only when its manifest exists AND every shard it names
+// validates against the recorded digest — so a crash mid-write (missing
+// shard, short shard, torn bytes) simply invalidates that step and
+// recovery falls back to the previous one.
+//
+//	magic "CCAHMANI" | version u32 | body | crc32(body) u32
+//	body := step u64 | nranks u64 | (file string, size u64, crc u32)*
+const manifestMagic = "CCAHMANI"
+
+// ManifestEntry names one rank's shard file and its expected digest.
+type ManifestEntry struct {
+	File string // base name, relative to the manifest's directory
+	Size uint64
+	CRC  uint32
+}
+
+// Manifest indexes one durable checkpoint.
+type Manifest struct {
+	Step     int
+	NumRanks int
+	Shards   []ManifestEntry
+}
+
+// ShardFileName is the per-rank shard file name for a step.
+func ShardFileName(step, rank int) string {
+	return fmt.Sprintf("ck-%06d.r%d.shard", step, rank)
+}
+
+// ManifestFileName is the manifest file name for a step. The zero-padded
+// step keeps lexical order equal to step order.
+func ManifestFileName(step int) string {
+	return fmt.Sprintf("ck-%06d.manifest", step)
+}
+
+// Digest computes the (size, CRC) pair recorded in manifests.
+func Digest(data []byte) (uint64, uint32) {
+	return uint64(len(data)), crc32.ChecksumIEEE(data)
+}
+
+// EncodeManifest serializes a manifest.
+func EncodeManifest(m *Manifest) []byte {
+	var body encoder
+	body.u64(uint64(m.Step))
+	body.u64(uint64(m.NumRanks))
+	for _, s := range m.Shards {
+		body.str(s.File)
+		body.u64(s.Size)
+		body.u32(s.CRC)
+	}
+	var e encoder
+	e.b = append(e.b, manifestMagic...)
+	e.u32(FormatVersion)
+	e.b = append(e.b, body.b...)
+	e.u32(crc32.ChecksumIEEE(body.b))
+	return e.b
+}
+
+// DecodeManifest parses and CRC-validates a manifest.
+func DecodeManifest(b []byte) (*Manifest, error) {
+	if len(b) < len(manifestMagic)+8 || string(b[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("ckpt: bad manifest magic")
+	}
+	d := &decoder{b: b, off: len(manifestMagic)}
+	ver, err := d.u32()
+	if err != nil {
+		return nil, err
+	}
+	if ver != FormatVersion {
+		return nil, fmt.Errorf("ckpt: manifest version %d, this build reads %d", ver, FormatVersion)
+	}
+	body := b[d.off : len(b)-4]
+	wantCRC := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if got := crc32.ChecksumIEEE(body); got != wantCRC {
+		return nil, fmt.Errorf("ckpt: manifest CRC mismatch (got %08x want %08x)", got, wantCRC)
+	}
+	d = &decoder{b: body}
+	m := &Manifest{}
+	if m.Step, err = d.i64(); err != nil {
+		return nil, err
+	}
+	if m.NumRanks, err = d.i64(); err != nil {
+		return nil, err
+	}
+	if m.Step < 0 || m.NumRanks < 1 || m.NumRanks > maxCount {
+		return nil, fmt.Errorf("ckpt: manifest header step=%d ranks=%d out of range", m.Step, m.NumRanks)
+	}
+	for d.remaining() > 0 {
+		var s ManifestEntry
+		if s.File, err = d.str(); err != nil {
+			return nil, err
+		}
+		if s.Size, err = d.u64(); err != nil {
+			return nil, err
+		}
+		if s.CRC, err = d.u32(); err != nil {
+			return nil, err
+		}
+		m.Shards = append(m.Shards, s)
+	}
+	if len(m.Shards) != m.NumRanks {
+		return nil, fmt.Errorf("ckpt: manifest lists %d shards for %d ranks", len(m.Shards), m.NumRanks)
+	}
+	return m, nil
+}
+
+// Validate checks that every shard the manifest names exists next to it
+// with the recorded size and CRC. path is the manifest file path.
+func (m *Manifest) Validate(path string) error {
+	dir := filepath.Dir(path)
+	for _, s := range m.Shards {
+		data, err := os.ReadFile(filepath.Join(dir, s.File))
+		if err != nil {
+			return fmt.Errorf("ckpt: manifest %s: %w", filepath.Base(path), err)
+		}
+		size, crc := Digest(data)
+		if size != s.Size || crc != s.CRC {
+			return fmt.Errorf("ckpt: shard %s digest mismatch (size %d/%d crc %08x/%08x)",
+				s.File, size, s.Size, crc, s.CRC)
+		}
+	}
+	return nil
+}
+
+// ReadManifest loads, decodes, and fully validates one manifest.
+func ReadManifest(path string) (*Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	if err := m.Validate(path); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LatestValid scans dir for the newest checkpoint whose manifest and
+// all named shards validate, skipping damaged or incomplete ones. It
+// returns the manifest path and step, or ok=false when none survives.
+func LatestValid(dir string) (path string, step int, ok bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", 0, false
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".manifest" {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Sort(sort.Reverse(sort.StringSlice(names)))
+	for _, name := range names {
+		p := filepath.Join(dir, name)
+		m, err := ReadManifest(p)
+		if err != nil {
+			continue
+		}
+		return p, m.Step, true
+	}
+	return "", 0, false
+}

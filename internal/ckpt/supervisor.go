@@ -1,0 +1,39 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+
+	"ccahydro/internal/mpi"
+)
+
+// Supervise runs attempt with automatic rollback-and-retry: when the
+// job dies of a rank failure (any error matching mpi.ErrRankFailed),
+// the supervisor locates the last durable checkpoint under dir and
+// relaunches the attempt from it — the paper-era operator workflow
+// ("resubmit from the last restart dump") folded into the launcher.
+//
+// attempt receives the manifest path to restore from ("" for a cold
+// start) and must run the job to completion. Errors that are not rank
+// failures propagate immediately; rank failures beyond maxRetries
+// return the last failure wrapped with the retry count.
+func Supervise(dir string, maxRetries int, attempt func(restore string) error) error {
+	restore := ""
+	for try := 0; ; try++ {
+		err := attempt(restore)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, mpi.ErrRankFailed) {
+			return err
+		}
+		if try >= maxRetries {
+			return fmt.Errorf("ckpt: giving up after %d retries: %w", maxRetries, err)
+		}
+		if path, _, ok := LatestValid(dir); ok {
+			restore = path
+		} else {
+			restore = "" // no durable checkpoint yet: cold restart
+		}
+	}
+}

@@ -1,0 +1,261 @@
+package components
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/cca"
+	"ccahydro/internal/ckpt"
+	"ccahydro/internal/field"
+	"ccahydro/internal/mpi"
+)
+
+// CheckpointComponent provides the CheckpointPort: periodic durable
+// snapshots of the complete simulation state and bit-exact restores.
+// Parameters:
+//
+//	every    checkpoint cadence in driver steps (default 0 = off)
+//	dir      checkpoint directory (default "checkpoints")
+//	restore  manifest path or checkpoint directory to resume from
+//	         (a directory means "the latest valid checkpoint in it")
+//
+// Save path: the driver hands over its phase position (step, time,
+// counters, series); the component snapshots the mesh geometry and
+// every registered field's raw patch arrays, serializes on the exec
+// pool, and enqueues shard bytes on a background writer — the next
+// step's compute overlaps the IO. Rank 0 then gathers every rank's
+// shard digest and enqueues the manifest that makes the checkpoint
+// durable (shards without a validating manifest are ignored on load).
+//
+// Restore path: each rank reads and CRC-verifies its own shard,
+// validates geometry/driver/rank-count agreement, rebuilds the
+// hierarchy and fields, adopts them into the mesh, and reinstates the
+// virtual clock and comm stats. Field arrays are restored bit-for-bit
+// including ghosts, so no exchange is needed before the first step.
+type CheckpointComponent struct {
+	svc     cca.Services
+	every   int
+	dir     string
+	restore string
+	writer  *ckpt.Writer
+}
+
+// checkpointMesh is the mesh surface the component needs: the standard
+// MeshPort plus the restore/save extensions GrACEComponent implements.
+type checkpointMesh interface {
+	MeshPort
+	FieldNames() []string
+	AdoptAll(map[string]*field.DataObject) error
+}
+
+// SetServices implements cca.Component.
+func (cc *CheckpointComponent) SetServices(svc cca.Services) error {
+	cc.svc = svc
+	p := svc.Parameters()
+	cc.every = p.GetInt("every", 0)
+	cc.dir = p.GetString("dir", "checkpoints")
+	cc.restore = p.GetString("restore", "")
+	cc.writer = ckpt.NewWriter(svc.Observability())
+	if err := svc.RegisterUsesPort("mesh", MeshPortType); err != nil {
+		return err
+	}
+	registerExecPort(svc)
+	return svc.AddProvidesPort(cc, "checkpoint", CheckpointPortType)
+}
+
+func (cc *CheckpointComponent) mesh() (checkpointMesh, error) {
+	p, err := cc.svc.GetPort("mesh")
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: mesh port: %w", err)
+	}
+	m, ok := p.(checkpointMesh)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: mesh provider %T lacks the restore surface", p)
+	}
+	return m, nil
+}
+
+func (cc *CheckpointComponent) comm() *mpi.Comm { return cc.svc.Comm() }
+
+func (cc *CheckpointComponent) rankInfo() (rank, size int) {
+	if c := cc.comm(); c != nil {
+		return c.Rank(), c.Size()
+	}
+	return 0, 1
+}
+
+// SaveIfDue implements CheckpointPort. meta.Step is the 0-based step
+// just completed; the checkpoint captures the state a continuation
+// would compute step meta.Step+1 from.
+func (cc *CheckpointComponent) SaveIfDue(meta ckpt.Meta) error {
+	if cc.every <= 0 || (meta.Step+1)%cc.every != 0 {
+		return nil
+	}
+	return cc.save(meta)
+}
+
+func (cc *CheckpointComponent) save(meta ckpt.Meta) error {
+	o := cc.svc.Observability()
+	if o != nil {
+		defer o.Span("ckpt", fmt.Sprintf("save step %d", meta.Step))()
+	}
+	mesh, err := cc.mesh()
+	if err != nil {
+		return err
+	}
+	rank, size := cc.rankInfo()
+	if c := cc.comm(); c != nil {
+		s := c.Stats()
+		meta.VirtualTime = c.VirtualTime()
+		meta.Comm = s
+	}
+	shard := &ckpt.Shard{
+		Rank:     rank,
+		NumRanks: size,
+		Snapshot: mesh.Hierarchy().Snapshot(),
+		Meta:     meta,
+	}
+	for _, name := range mesh.FieldNames() {
+		d := mesh.Field(name)
+		fs := ckpt.FieldShard{
+			Name:  name,
+			NComp: d.NComp,
+			Ghost: d.Ghost,
+			Names: append([]string(nil), d.Names...),
+		}
+		d.ForEachLocal(func(pd *field.PatchData) {
+			// RawData aliases live storage: EncodeShard below runs
+			// synchronously on the driver goroutine, before the next
+			// step mutates the field, so the copy is consistent.
+			fs.Patches = append(fs.Patches, ckpt.PatchBlob{ID: pd.Patch.ID, Data: pd.RawData()})
+		})
+		shard.Fields = append(shard.Fields, fs)
+	}
+	data := ckpt.EncodeShard(shard, optionalPool(cc.svc))
+	shardName := ckpt.ShardFileName(meta.Step, rank)
+	cc.writer.Enqueue(filepath.Join(cc.dir, shardName), data)
+
+	// Durability marker: rank 0 collects every shard's digest into the
+	// manifest. The gather is synchronous (cheap: 2 words per rank); the
+	// file writes stay asynchronous.
+	sizeBytes, crc := ckpt.Digest(data)
+	if c := cc.comm(); c != nil && size > 1 {
+		digests := c.Gather(0, []float64{float64(sizeBytes), float64(crc)})
+		if rank == 0 {
+			m := &ckpt.Manifest{Step: meta.Step, NumRanks: size}
+			for r, dg := range digests {
+				m.Shards = append(m.Shards, ckpt.ManifestEntry{
+					File: ckpt.ShardFileName(meta.Step, r),
+					Size: uint64(dg[0]),
+					CRC:  uint32(dg[1]),
+				})
+			}
+			cc.writer.Enqueue(filepath.Join(cc.dir, ckpt.ManifestFileName(meta.Step)), ckpt.EncodeManifest(m))
+		}
+	} else {
+		m := &ckpt.Manifest{Step: meta.Step, NumRanks: 1,
+			Shards: []ckpt.ManifestEntry{{File: shardName, Size: sizeBytes, CRC: crc}}}
+		cc.writer.Enqueue(filepath.Join(cc.dir, ckpt.ManifestFileName(meta.Step)), ckpt.EncodeManifest(m))
+	}
+	return nil
+}
+
+// Flush implements CheckpointPort.
+func (cc *CheckpointComponent) Flush() error { return cc.writer.Flush() }
+
+// Restore implements CheckpointPort. Returns (nil, nil) on a cold start.
+func (cc *CheckpointComponent) Restore(driver string) (*ckpt.Meta, error) {
+	if cc.restore == "" {
+		return nil, nil
+	}
+	o := cc.svc.Observability()
+	if o != nil {
+		defer o.Span("ckpt", "restore")()
+	}
+	manifestPath := cc.restore
+	if fi, err := os.Stat(manifestPath); err == nil && fi.IsDir() {
+		p, _, ok := ckpt.LatestValid(manifestPath)
+		if !ok {
+			return nil, fmt.Errorf("checkpoint: no valid checkpoint in %s", manifestPath)
+		}
+		manifestPath = p
+	}
+	m, err := ckpt.ReadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	rank, size := cc.rankInfo()
+	if m.NumRanks != size {
+		return nil, fmt.Errorf("checkpoint: written by %d ranks, restoring on %d", m.NumRanks, size)
+	}
+	data, err := os.ReadFile(filepath.Join(filepath.Dir(manifestPath), m.Shards[rank].File))
+	if err != nil {
+		return nil, err
+	}
+	shard, err := ckpt.DecodeShard(data)
+	if err != nil {
+		return nil, err
+	}
+	if shard.Rank != rank || shard.NumRanks != size {
+		return nil, fmt.Errorf("checkpoint: shard is rank %d/%d, expected %d/%d",
+			shard.Rank, shard.NumRanks, rank, size)
+	}
+	if shard.Meta.Driver != driver {
+		return nil, fmt.Errorf("checkpoint: written by driver %q, restoring into %q", shard.Meta.Driver, driver)
+	}
+	mesh, err := cc.mesh()
+	if err != nil {
+		return nil, err
+	}
+	h, err := amr.FromSnapshot(shard.Snapshot)
+	if err != nil {
+		return nil, err
+	}
+	if cur := mesh.Hierarchy(); cur != nil && !cur.Domain.Equal(h.Domain) {
+		return nil, fmt.Errorf("checkpoint: domain %v does not match assembly domain %v", h.Domain, cur.Domain)
+	}
+	fields := make(map[string]*field.DataObject, len(shard.Fields))
+	for i := range shard.Fields {
+		fs := &shard.Fields[i]
+		d := field.New(fs.Name, h, fs.NComp, fs.Ghost, cc.comm())
+		d.Names = append([]string(nil), fs.Names...)
+		d.SetObs(cc.svc.Observability())
+		blobs := make(map[int][]float64, len(fs.Patches))
+		for _, p := range fs.Patches {
+			blobs[p.ID] = p.Data
+		}
+		restoreErr := error(nil)
+		d.ForEachLocal(func(pd *field.PatchData) {
+			blob, ok := blobs[pd.Patch.ID]
+			if !ok {
+				if restoreErr == nil {
+					restoreErr = fmt.Errorf("checkpoint: field %q missing patch %d", fs.Name, pd.Patch.ID)
+				}
+				return
+			}
+			if err := pd.SetRawData(blob); err != nil && restoreErr == nil {
+				restoreErr = err
+			}
+			delete(blobs, pd.Patch.ID)
+		})
+		if restoreErr != nil {
+			return nil, restoreErr
+		}
+		if len(blobs) != 0 {
+			return nil, fmt.Errorf("checkpoint: field %q has %d shard patches not owned by rank %d",
+				fs.Name, len(blobs), rank)
+		}
+		fields[fs.Name] = d
+	}
+	if err := mesh.AdoptAll(fields); err != nil {
+		return nil, err
+	}
+	if c := cc.comm(); c != nil {
+		c.AdvanceVirtualTime(shard.Meta.VirtualTime)
+		c.RestoreStats(shard.Meta.Comm)
+	}
+	meta := shard.Meta
+	return &meta, nil
+}

@@ -102,6 +102,39 @@ func (cc *CvodeComponent) TotalStats() cvode.Stats {
 	return cc.total
 }
 
+// Solver-statistic counter names used in checkpoints.
+const (
+	counterCvodeSteps  = "cvode.steps"
+	counterCvodeRHS    = "cvode.rhs_evals"
+	counterCvodeJac    = "cvode.jac_evals"
+	counterCvodeNewton = "cvode.newton_iters"
+)
+
+// Counters implements CounterSource: the cumulative solver statistics a
+// checkpoint must carry so a restored run reports the same Table 4
+// totals as an uninterrupted one.
+func (cc *CvodeComponent) Counters() map[string]float64 {
+	st := cc.TotalStats()
+	return map[string]float64{
+		counterCvodeSteps:  float64(st.Steps),
+		counterCvodeRHS:    float64(st.RHSEvals),
+		counterCvodeJac:    float64(st.JacEvals),
+		counterCvodeNewton: float64(st.NewtonIters),
+	}
+}
+
+// RestoreCounters implements CounterSource.
+func (cc *CvodeComponent) RestoreCounters(m map[string]float64) {
+	cc.statsMu.Lock()
+	cc.total = cvode.Stats{
+		Steps:       int(m[counterCvodeSteps]),
+		RHSEvals:    int(m[counterCvodeRHS]),
+		JacEvals:    int(m[counterCvodeJac]),
+		NewtonIters: int(m[counterCvodeNewton]),
+	}
+	cc.statsMu.Unlock()
+}
+
 // workerIntegrator is one worker slot's private solver. Each slot owns
 // its own cvode.Solver, so cell integrations on different workers never
 // share state; Init fully resets the solver, so results are identical

@@ -2,6 +2,7 @@ package components
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"ccahydro/internal/amr"
@@ -182,6 +183,49 @@ func (gc *GrACEComponent) Adopt(name string, d *field.DataObject) {
 	gc.h = d.Hierarchy()
 	gc.fields = map[string]*field.DataObject{name: d}
 	gc.bcs = map[string]field.BCSet{name: field.UniformBC(field.BCSpec{Kind: field.BCOutflow})}
+}
+
+// AdoptAll installs a restored hierarchy and complete field set — the
+// checkpoint-restore path. All fields must share one hierarchy. Default
+// outflow BCs are installed; components that override BCs (the hydro
+// BoundaryConditions component) re-apply their rules on first use, and
+// the restored arrays already contain fully exchanged ghosts, so no BC
+// application is needed before the first step anyway.
+func (gc *GrACEComponent) AdoptAll(fields map[string]*field.DataObject) error {
+	if len(fields) == 0 {
+		return fmt.Errorf("grace: AdoptAll with no fields")
+	}
+	var h *amr.Hierarchy
+	for _, d := range fields {
+		if h == nil {
+			h = d.Hierarchy()
+		} else if d.Hierarchy() != h {
+			return fmt.Errorf("grace: AdoptAll fields disagree on hierarchy")
+		}
+	}
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	gc.h = h
+	gc.fields = make(map[string]*field.DataObject, len(fields))
+	gc.bcs = make(map[string]field.BCSet, len(fields))
+	for name, d := range fields {
+		gc.fields[name] = d
+		gc.bcs[name] = field.UniformBC(field.BCSpec{Kind: field.BCOutflow})
+	}
+	return nil
+}
+
+// FieldNames lists the declared fields in sorted order — the checkpoint
+// writer's iteration set.
+func (gc *GrACEComponent) FieldNames() []string {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	names := make([]string, 0, len(gc.fields))
+	for name := range gc.fields {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // FillAllGhosts performs the full ghost protocol for one level: physical

@@ -61,6 +61,34 @@ func (ii *ImplicitIntegrator) chemistry() ChemistryPort {
 	return ii.chem
 }
 
+// counterSource resolves the wired integrator's CounterSource
+// capability, or nil when the provider has none.
+func (ii *ImplicitIntegrator) counterSource() CounterSource {
+	p, err := ii.svc.GetPort("integrator")
+	if err != nil {
+		return nil
+	}
+	ii.svc.ReleasePort("integrator")
+	cs, _ := p.(CounterSource)
+	return cs
+}
+
+// Counters implements CounterSource by delegating to the wired
+// integrator (the CvodeComponent's cumulative statistics).
+func (ii *ImplicitIntegrator) Counters() map[string]float64 {
+	if cs := ii.counterSource(); cs != nil {
+		return cs.Counters()
+	}
+	return nil
+}
+
+// RestoreCounters implements CounterSource.
+func (ii *ImplicitIntegrator) RestoreCounters(m map[string]float64) {
+	if cs := ii.counterSource(); cs != nil {
+		cs.RestoreCounters(m)
+	}
+}
+
 // cellRHS is the constant-pressure chemistry RHS over y = [T, Y...].
 type cellRHS struct{ ii *ImplicitIntegrator }
 

@@ -40,8 +40,10 @@ import (
 // and their instrumentation.
 
 // obsNow/obsSince isolate the two wall-clock touches of every proxy
-// method.
-func obsSince(h *obs.Histogram, t0 time.Time) { h.ObserveNs(int64(time.Since(t0))) }
+// method. Recording goes through obs.PortCall, which applies the
+// session's sampling rate / latency floor (see Obs.SetPortCallSampling)
+// and counts what it drops.
+func obsSince(h *obs.PortCall, t0 time.Time) { h.ObserveSince(t0) }
 
 // obsLevelName labels a per-level span; callers only build it when a
 // session is attached.
@@ -52,8 +54,8 @@ func obsLevelName(op string, level int) string {
 // iRHS instruments ode.RHSPort.
 type iRHS struct {
 	inner RHSPort
-	dim   *obs.Histogram
-	eval  *obs.Histogram
+	dim   *obs.PortCall
+	eval  *obs.PortCall
 }
 
 func (p *iRHS) Dim() int {
@@ -72,7 +74,7 @@ func (p *iRHS) Eval(t float64, y, ydot []float64) {
 // RegionRHSPort extension when the wrapped component provides it.
 type iPatchRHS struct {
 	inner PatchRHSPort
-	eval  *obs.Histogram
+	eval  *obs.PortCall
 }
 
 func (p *iPatchRHS) EvalPatch(pd, out *field.PatchData, dx, dy float64) {
@@ -95,7 +97,7 @@ func (p *iPatchRHS) SupportsRegion() bool {
 
 type iRegionRHS struct {
 	iPatchRHS
-	region *obs.Histogram
+	region *obs.PortCall
 }
 
 func (p *iRegionRHS) EvalRegion(pd, out *field.PatchData, region amr.Box, dx, dy float64) {
@@ -110,7 +112,7 @@ func (p *iRegionRHS) EvalRegion(pd, out *field.PatchData, region amr.Box, dx, dy
 // histogram.
 type iImplicit struct {
 	inner ImplicitIntegratorPort
-	integ *obs.Histogram
+	integ *obs.PortCall
 }
 
 func (p *iImplicit) IntegrateTo(t0f, t1f float64, y []float64) (cvode.Stats, error) {
@@ -118,6 +120,23 @@ func (p *iImplicit) IntegrateTo(t0f, t1f float64, y []float64) (cvode.Stats, err
 	st, err := p.inner.IntegrateTo(t0f, t1f, y)
 	obsSince(p.integ, t0)
 	return st, err
+}
+
+// Counters/RestoreCounters forward the optional CounterSource
+// capability (checkpointed solver statistics) through the proxy, the
+// same way SupportsRegion stays truthful on iPatchRHS. A nil map from
+// Counters means the wrapped component has no counters to save.
+func (p *iImplicit) Counters() map[string]float64 {
+	if cs, ok := p.inner.(CounterSource); ok {
+		return cs.Counters()
+	}
+	return nil
+}
+
+func (p *iImplicit) RestoreCounters(m map[string]float64) {
+	if cs, ok := p.inner.(CounterSource); ok {
+		cs.RestoreCounters(m)
+	}
 }
 
 type iWorkerImplicit struct {
@@ -132,8 +151,8 @@ func (p *iWorkerImplicit) WorkerIntegrator(w, width int) ImplicitIntegratorPort 
 // iChemistry instruments chem.SourceTermPort.
 type iChemistry struct {
 	inner    ChemistryPort
-	cp, cv   *obs.Histogram
-	mechHist *obs.Histogram
+	cp, cv   *obs.PortCall
+	mechHist *obs.PortCall
 }
 
 func (p *iChemistry) Mechanism() *chem.Mechanism {
@@ -159,7 +178,7 @@ func (p *iChemistry) ConstVolume(T, rho float64, Y, dY []float64) float64 {
 // iDPDt instruments chem.DPDtPort.
 type iDPDt struct {
 	inner DPDtPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iDPDt) DPDt(rho, T, dTdt float64, Y, dYdt []float64) float64 {
@@ -172,7 +191,7 @@ func (p *iDPDt) DPDt(rho, T, dTdt float64, Y, dYdt []float64) float64 {
 // iTransport instruments transport.PropertiesPort.
 type iTransport struct {
 	inner      TransportPort
-	props, max *obs.Histogram
+	props, max *obs.PortCall
 }
 
 func (p *iTransport) Properties(T, P float64, Y, X, D []float64) (float64, float64) {
@@ -192,7 +211,7 @@ func (p *iTransport) MaxDiffusivity(T, P float64, Y []float64) float64 {
 // iSpectral instruments ode.SpectralRadiusPort.
 type iSpectral struct {
 	inner SpectralRadiusPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iSpectral) MaxEigen(mesh MeshPort, name string) float64 {
@@ -205,7 +224,7 @@ func (p *iSpectral) MaxEigen(mesh MeshPort, name string) float64 {
 // iExplicit instruments samr.ExplicitIntegratorPort.
 type iExplicit struct {
 	inner ExplicitIntegratorPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iExplicit) AdvanceLevel(mesh MeshPort, name string, level int, t0f, t1f float64) error {
@@ -218,7 +237,7 @@ func (p *iExplicit) AdvanceLevel(mesh MeshPort, name string, level int, t0f, t1f
 // iCellChem instruments samr.CellChemistryPort.
 type iCellChem struct {
 	inner CellChemistryPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iCellChem) AdvanceChemistry(mesh MeshPort, name string, level int, dt float64) (int, error) {
@@ -228,10 +247,26 @@ func (p *iCellChem) AdvanceChemistry(mesh MeshPort, name string, level int, dt f
 	return n, err
 }
 
+// Counters/RestoreCounters forward CounterSource across the
+// cellChemistry wire (the ImplicitIntegrator adaptor delegates them to
+// its wired integrator).
+func (p *iCellChem) Counters() map[string]float64 {
+	if cs, ok := p.inner.(CounterSource); ok {
+		return cs.Counters()
+	}
+	return nil
+}
+
+func (p *iCellChem) RestoreCounters(m map[string]float64) {
+	if cs, ok := p.inner.(CounterSource); ok {
+		cs.RestoreCounters(m)
+	}
+}
+
 // iFlux instruments hydro.FluxPort.
 type iFlux struct {
 	inner FluxPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iFlux) Flux(g euler.Gas, l, r euler.Primitive) euler.Conserved {
@@ -244,7 +279,7 @@ func (p *iFlux) Flux(g euler.Gas, l, r euler.Primitive) euler.Conserved {
 // iStates instruments hydro.StatesPort.
 type iStates struct {
 	inner StatesPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iStates) Pair(g euler.Gas, pd *field.PatchData, i, j, dir int) (euler.Primitive, euler.Primitive) {
@@ -257,7 +292,7 @@ func (p *iStates) Pair(g euler.Gas, pd *field.PatchData, i, j, dir int) (euler.P
 // iCharacteristics instruments hydro.CharacteristicsPort.
 type iCharacteristics struct {
 	inner CharacteristicsPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iCharacteristics) StableDt(mesh MeshPort, name string, level int) float64 {
@@ -270,7 +305,7 @@ func (p *iCharacteristics) StableDt(mesh MeshPort, name string, level int) float
 // iRegrid instruments samr.RegridPort.
 type iRegrid struct {
 	inner RegridPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iRegrid) EstimateAndRegrid(mesh MeshPort, name string) bool {
@@ -283,7 +318,7 @@ func (p *iRegrid) EstimateAndRegrid(mesh MeshPort, name string) bool {
 // iStats instruments util.StatisticsPort.
 type iStats struct {
 	inner          StatsPort
-	rec, get, keys *obs.Histogram
+	rec, get, keys *obs.PortCall
 }
 
 func (p *iStats) Record(key string, value float64) {
@@ -307,7 +342,7 @@ func (p *iStats) Keys() []string {
 // iBC instruments samr.BoundaryConditionPort.
 type iBC struct {
 	inner BCPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iBC) Apply(name string, level int) {
@@ -319,7 +354,7 @@ func (p *iBC) Apply(name string, level int) {
 // iICField instruments samr.InitialConditionPort.
 type iICField struct {
 	inner ICFieldPort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iICField) Impose(mesh MeshPort, name string) {
@@ -331,7 +366,7 @@ func (p *iICField) Impose(mesh MeshPort, name string) {
 // iICState instruments chem.InitialStatePort.
 type iICState struct {
 	inner ICStatePort
-	h     *obs.Histogram
+	h     *obs.PortCall
 }
 
 func (p *iICState) InitialState() (float64, float64, []float64) {
@@ -343,7 +378,7 @@ func (p *iICState) InitialState() (float64, float64, []float64) {
 // iKeyValue instruments db.KeyValuePort.
 type iKeyValue struct {
 	inner    StatsKV
-	set, get *obs.Histogram
+	set, get *obs.PortCall
 }
 
 // StatsKV aliases KeyValuePort for the proxy's field type.
@@ -364,7 +399,7 @@ func (p *iKeyValue) Value(key string) (float64, bool) {
 // iProlongRestrict instruments samr.ProlongRestrictPort.
 type iProlongRestrict struct {
 	inner        ProlongRestrictPort
-	pro, res, cf *obs.Histogram
+	pro, res, cf *obs.PortCall
 }
 
 func (p *iProlongRestrict) Prolong(mesh MeshPort, name string, level int) {
@@ -388,7 +423,7 @@ func (p *iProlongRestrict) FillCoarseFine(mesh MeshPort, name string, level int)
 // iData instruments samr.DataObjectPort.
 type iData struct {
 	inner              DataPort
-	exch, cfg, res, pr *obs.Histogram
+	exch, cfg, res, pr *obs.PortCall
 }
 
 func (p *iData) ExchangeGhosts(name string, level int) {
@@ -416,8 +451,8 @@ func (p *iData) ProlongNewLevel(name string, level int) {
 }
 
 func init() {
-	h := func(o *obs.Obs, inst, port, method string) *obs.Histogram {
-		return o.PortHistogram(inst, port, method)
+	h := func(o *obs.Obs, inst, port, method string) *obs.PortCall {
+		return o.PortCall(inst, port, method)
 	}
 	reg := cca.RegisterPortWrapper
 

@@ -14,6 +14,7 @@ package components
 import (
 	"ccahydro/internal/amr"
 	"ccahydro/internal/chem"
+	"ccahydro/internal/ckpt"
 	"ccahydro/internal/cvode"
 	"ccahydro/internal/euler"
 	"ccahydro/internal/exec"
@@ -44,6 +45,7 @@ const (
 	CharacteristicsPortType = "hydro.CharacteristicsPort"
 	ProlongRestrictPortType = "samr.ProlongRestrictPort"
 	ExecutionPortType       = "exec.ExecutionPort"
+	CheckpointPortType      = "io.CheckpointPort"
 )
 
 // MeshPort is the paper's type (a) port: geometric manipulation of the
@@ -250,4 +252,34 @@ type ProlongRestrictPort interface {
 	Prolong(mesh MeshPort, name string, level int)
 	Restrict(mesh MeshPort, name string, level int)
 	FillCoarseFine(mesh MeshPort, name string, level int)
+}
+
+// CheckpointPort is the drivers' window into the checkpoint subsystem
+// (FLASH's IO unit / Cactus's checkpoint thorn, as a CCA port). Drivers
+// declare an optional "checkpoint" uses port; when unconnected, runs
+// behave exactly as before.
+type CheckpointPort interface {
+	// Restore loads the configured checkpoint if one was requested.
+	// It returns (nil, nil) when no restore is configured — a cold
+	// start. driver names the calling driver; a checkpoint written by a
+	// different driver is rejected.
+	Restore(driver string) (*ckpt.Meta, error)
+	// SaveIfDue writes a checkpoint when the step cadence says so. meta
+	// carries the driver's phase (step just completed, simulation time,
+	// counters, series); the mesh state is captured from the wired mesh.
+	SaveIfDue(meta ckpt.Meta) error
+	// Flush blocks until all in-flight checkpoint writes are durable
+	// and returns the first write error.
+	Flush() error
+}
+
+// CounterSource is an optional capability of solver components whose
+// cumulative statistics must survive a checkpoint/restore cycle (the
+// CVODE step/RHS/Jacobian/Newton totals feeding Table 4). Probed by
+// the checkpointing drivers with a type assertion on the wire.
+type CounterSource interface {
+	// Counters returns the solver's cumulative statistics by name.
+	Counters() map[string]float64
+	// RestoreCounters reinstates previously checkpointed statistics.
+	RestoreCounters(map[string]float64)
 }

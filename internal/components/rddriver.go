@@ -6,8 +6,13 @@ import (
 	"time"
 
 	"ccahydro/internal/cca"
+	"ccahydro/internal/ckpt"
 	"ccahydro/internal/field"
 )
+
+// rdDriverName tags checkpoints written by this driver; a restore into
+// a different driver is rejected.
+const rdDriverName = "rd"
 
 // RDDriver assembles the operator-split time loop of the 2D
 // reaction–diffusion flame (paper Sec. 4.2): stiff chemistry integrated
@@ -44,6 +49,7 @@ func (dr *RDDriver) SetServices(svc cca.Services) error {
 		{"regrid", RegridPortType},
 		{"stats", StatsPortType},
 		{"chemistry", ChemistryPortType},
+		{"checkpoint", CheckpointPortType},
 	} {
 		if err := svc.RegisterUsesPort(u[0], u[1]); err != nil {
 			return err
@@ -100,6 +106,23 @@ func (dr *RDDriver) run() error {
 	if p := dr.optionalPort("stats"); p != nil {
 		stats = p.(StatsPort)
 	}
+	var ck CheckpointPort
+	if p := dr.optionalPort("checkpoint"); p != nil {
+		ck = p.(CheckpointPort)
+	}
+
+	// Restore (if configured) before the fresh check: a restore adopts
+	// the checkpointed hierarchy and fields into the mesh, so the IC and
+	// initial regrid passes below are skipped and the loop resumes at the
+	// checkpointed step.
+	var restored *ckpt.Meta
+	if ck != nil {
+		m, err := ck.Restore(rdDriverName)
+		if err != nil {
+			return err
+		}
+		restored = m
+	}
 
 	nsp := chemPort.Mechanism().NumSpecies()
 	fresh := mesh.Field(name) == nil
@@ -150,7 +173,18 @@ func (dr *RDDriver) run() error {
 
 	obsSession := dr.svc.Observability()
 	t := 0.0
-	for step := 0; step < steps; step++ {
+	step0 := 0
+	if restored != nil {
+		t = restored.Time
+		step0 = restored.Step + 1
+		if cs, ok := cellChem.(CounterSource); ok && restored.Counters != nil {
+			cs.RestoreCounters(restored.Counters)
+		}
+	}
+	for step := step0; step < steps; step++ {
+		if c := dr.svc.Comm(); c != nil {
+			c.NoteStep(step)
+		}
 		var stepSpan func()
 		if obsSession != nil {
 			stepSpan = obsSession.Span("driver", "rd.step "+strconv.Itoa(step))
@@ -186,8 +220,24 @@ func (dr *RDDriver) run() error {
 		if regrid != nil && regridEvery > 0 && (step+1)%regridEvery == 0 {
 			regrid.EstimateAndRegrid(mesh, name)
 		}
+		// Checkpoint last, after the regrid: a continuation computes step
+		// step+1 from exactly the state this iteration hands it.
+		if ck != nil {
+			meta := ckpt.Meta{Driver: rdDriverName, Step: step, Time: t}
+			if cs, ok := cellChem.(CounterSource); ok {
+				meta.Counters = cs.Counters()
+			}
+			if err := ck.SaveIfDue(meta); err != nil {
+				return err
+			}
+		}
 		if stepSpan != nil {
 			stepSpan()
+		}
+	}
+	if ck != nil {
+		if err := ck.Flush(); err != nil {
+			return err
 		}
 	}
 

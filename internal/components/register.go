@@ -39,6 +39,7 @@ func RegisterAll(repo *cca.Repository) {
 	repo.Register("PatchRHSMonitor", func() cca.Component { return &PatchRHSMonitor{} })
 	repo.Register("BalancerComponent", func() cca.Component { return &BalancerComponent{} })
 	repo.Register("ExecutionComponent", func() cca.Component { return &ExecutionComponent{} })
+	repo.Register("CheckpointComponent", func() cca.Component { return &CheckpointComponent{} })
 }
 
 // NewRepository returns a repository with every component registered.

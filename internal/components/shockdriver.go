@@ -7,6 +7,7 @@ import (
 
 	"ccahydro/internal/amr"
 	"ccahydro/internal/cca"
+	"ccahydro/internal/ckpt"
 	"ccahydro/internal/euler"
 	"ccahydro/internal/field"
 	"ccahydro/internal/mpi"
@@ -22,6 +23,10 @@ import (
 //	regridEvery  steps between regrids, 0 = off (default 5)
 //	cfl          Courant number passed to dt control (informative)
 //	field        conserved field name (default "U")
+//
+// shockDriverName tags checkpoints written by this driver.
+const shockDriverName = "shock"
+
 type ShockDriver struct {
 	svc cca.Services
 
@@ -43,6 +48,7 @@ func (sd *ShockDriver) SetServices(svc cca.Services) error {
 		{"stats", StatsPortType},
 		{"gasProperties", KeyValuePortType},
 		{"bc", BCPortType},
+		{"checkpoint", CheckpointPortType},
 	} {
 		if err := svc.RegisterUsesPort(u[0], u[1]); err != nil {
 			return err
@@ -93,6 +99,21 @@ func (sd *ShockDriver) run() error {
 	if p := sd.optionalPort("stats"); p != nil {
 		stats = p.(StatsPort)
 	}
+	var ck CheckpointPort
+	if p := sd.optionalPort("checkpoint"); p != nil {
+		ck = p.(CheckpointPort)
+	}
+
+	// Restore before the fresh check (see RDDriver): adopted fields make
+	// the run continue from the checkpointed state instead of the IC.
+	var restored *ckpt.Meta
+	if ck != nil {
+		m, err := ck.Restore(shockDriverName)
+		if err != nil {
+			return err
+		}
+		restored = m
+	}
 
 	fresh := mesh.Field(name) == nil
 	mesh.Declare(name, euler.NumComp, 2)
@@ -118,7 +139,18 @@ func (sd *ShockDriver) run() error {
 
 	obsSession := sd.svc.Observability()
 	t := 0.0
-	for step := 0; step < maxSteps && t < tEnd; step++ {
+	step0 := 0
+	if restored != nil {
+		t = restored.Time
+		step0 = restored.Step + 1
+		sd.Steps = step0
+		sd.Times = append([]float64(nil), restored.Series["t"]...)
+		sd.Circulations = append([]float64(nil), restored.Series["circulation"]...)
+	}
+	for step := step0; step < maxSteps && t < tEnd; step++ {
+		if c := sd.svc.Comm(); c != nil {
+			c.NoteStep(step)
+		}
 		var stepSpan func()
 		if obsSession != nil {
 			stepSpan = obsSession.Span("driver", "shock.step "+strconv.Itoa(step))
@@ -161,11 +193,26 @@ func (sd *ShockDriver) run() error {
 		if regrid != nil && regridEvery > 0 && (step+1)%regridEvery == 0 {
 			regrid.EstimateAndRegrid(mesh, name)
 		}
+		// Checkpoint after the regrid so a continuation sees the exact
+		// hierarchy the next step starts from. The circulation series
+		// rides along in Meta.Series (restore reinstates Fig 7's curve).
+		if ck != nil {
+			meta := ckpt.Meta{Driver: shockDriverName, Step: step, Time: t,
+				Series: map[string][]float64{"t": sd.Times, "circulation": sd.Circulations}}
+			if err := ck.SaveIfDue(meta); err != nil {
+				return err
+			}
+		}
 		if stepSpan != nil {
 			stepSpan()
 		}
 	}
 	sd.FinalTime = t
+	if ck != nil {
+		if err := ck.Flush(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

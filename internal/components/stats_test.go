@@ -14,8 +14,8 @@ func TestStatisticsComponentGetReturnsCopy(t *testing.T) {
 	sc.Record("x", 1)
 	sc.Record("x", 2)
 	snap := sc.Get("x")
-	snap[0] = -99            // caller mutation
-	sc.Record("x", 3)        // growth after the snapshot
+	snap[0] = -99     // caller mutation
+	sc.Record("x", 3) // growth after the snapshot
 	if got := sc.Get("x"); got[0] != 1 || len(got) != 3 {
 		t.Errorf("stored series corrupted or wrong length: %v", got)
 	}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/components"
+)
+
+// WireCheckpoint retrofits checkpointing onto an assembled framework:
+// it instantiates a CheckpointComponent as "ckpt", points its mesh port
+// at the assembly's MeshPort provider, and connects every unconnected
+// "checkpoint" uses port (the drivers declare one) to it. This is the
+// CCA promise in action — the Table 2/3 assemblies gain durable
+// restart without editing a single existing wire.
+//
+// every is the cadence in driver steps (0 disables saving), dir the
+// checkpoint directory, restore a manifest path or directory to resume
+// from ("" for a cold start).
+func WireCheckpoint(f *cca.Framework, dir, restore string, every int) error {
+	const inst = "ckpt"
+	for _, kv := range [][2]string{
+		{"every", strconv.Itoa(every)},
+		{"dir", dir},
+		{"restore", restore},
+	} {
+		if err := f.SetParameter(inst, kv[0], kv[1]); err != nil {
+			return err
+		}
+	}
+	if err := f.Instantiate("CheckpointComponent", inst); err != nil {
+		return err
+	}
+
+	// Point ckpt.mesh at the assembly's mesh provider.
+	meshInst, meshPort, err := findProvider(f, components.MeshPortType)
+	if err != nil {
+		return fmt.Errorf("core: WireCheckpoint: %w", err)
+	}
+	if err := f.Connect(inst, "mesh", meshInst, meshPort); err != nil {
+		return err
+	}
+
+	// Connect every dangling checkpoint uses port to ckpt.
+	connected := make(map[[2]string]bool)
+	for _, c := range f.Connections() {
+		connected[[2]string{c.User, c.UsesPort}] = true
+	}
+	for _, name := range f.Instances() {
+		uses, err := f.UsesPorts(name)
+		if err != nil {
+			return err
+		}
+		for _, u := range uses {
+			if u[1] != components.CheckpointPortType || connected[[2]string{name, u[0]}] {
+				continue
+			}
+			if err := f.Connect(name, u[0], inst, "checkpoint"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// findProvider locates the first instance providing a port of the given
+// type, returning (instance, portName).
+func findProvider(f *cca.Framework, portType string) (string, string, error) {
+	for _, name := range f.Instances() {
+		provides, err := f.ProvidedPorts(name)
+		if err != nil {
+			return "", "", err
+		}
+		for _, p := range provides {
+			if p[1] == portType {
+				return name, p[0], nil
+			}
+		}
+	}
+	return "", "", fmt.Errorf("no provider of %q in the assembly", portType)
+}

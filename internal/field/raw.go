@@ -1,0 +1,26 @@
+package field
+
+import "fmt"
+
+// Raw storage access for the checkpoint subsystem: a checkpoint saves a
+// patch's complete backing array (interior plus ghosts, all components)
+// and restores it verbatim, so a resumed run starts from bit-identical
+// state without a post-restart ghost exchange.
+
+// RawData returns the patch's backing array: component-major over the
+// grown (ghost-included) box. The slice aliases live storage — callers
+// serialize it synchronously or copy before mutating the field.
+func (pd *PatchData) RawData() []float64 {
+	return pd.data
+}
+
+// SetRawData overwrites the patch's backing array from a checkpointed
+// blob. The length must match the allocation exactly.
+func (pd *PatchData) SetRawData(data []float64) error {
+	if len(data) != len(pd.data) {
+		return fmt.Errorf("field: patch %d raw data length %d, want %d",
+			pd.Patch.ID, len(data), len(pd.data))
+	}
+	copy(pd.data, data)
+	return nil
+}

@@ -154,6 +154,16 @@ type World struct {
 		free map[int][][]float64
 	}
 
+	// fault holds the armed fault-injection config and, once a rank has
+	// failed (or Abort was called), the poisoning error every blocked
+	// operation unwinds with. See fault.go.
+	fault struct {
+		mu      sync.Mutex
+		armed   *Fault
+		fired   bool
+		failure error
+	}
+
 	mu sync.Mutex
 }
 
@@ -367,6 +377,8 @@ func (c *Comm) Send(dst int, tag int, data []float64) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mpi: send to invalid rank %d (size %d)", dst, c.Size()))
 	}
+	c.world.failGate()
+	c.noteSend(c.sends + 1)
 	wdst := c.worldRankOf(dst)
 	cp := c.world.takeBuf(len(data))
 	copy(cp, data)
@@ -408,6 +420,10 @@ func (c *Comm) Recv(src int, tag int) ([]float64, Status) {
 				return m.data, Status{Source: m.from, Tag: m.tag, Count: len(m.data)}
 			}
 		}
+		if err := c.world.Failure(); err != nil {
+			box.mu.Unlock()
+			panic(&abortSignal{err: err})
+		}
 		box.cond.Wait()
 	}
 }
@@ -448,6 +464,10 @@ func (c *Comm) recvAny(tag int) ([]float64, Status) {
 
 		w.arrivalMu[c.rank].Lock()
 		for w.arrivals[c.rank] == seen {
+			if err := w.Failure(); err != nil {
+				w.arrivalMu[c.rank].Unlock()
+				panic(&abortSignal{err: err})
+			}
 			w.arrivalCond[c.rank].Wait()
 		}
 		w.arrivalMu[c.rank].Unlock()
@@ -468,6 +488,7 @@ func (c *Comm) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) ([]f
 // split communicator the barrier is message-based (gather + release),
 // scoped to the group.
 func (c *Comm) Barrier() {
+	c.world.failGate()
 	if c.group != nil {
 		// Reduce an empty payload to logical root 0, then broadcast the
 		// release; clock propagation rides the messages.
@@ -502,6 +523,10 @@ func (c *Comm) Barrier() {
 	}
 	gen := b.gen
 	for gen == b.gen {
+		if err := c.world.Failure(); err != nil {
+			b.mu.Unlock()
+			panic(&abortSignal{err: err})
+		}
 		b.cond.Wait()
 	}
 	b.mu.Unlock()
@@ -649,6 +674,9 @@ func (c *Comm) Scatter(root int, chunks [][]float64) []float64 {
 	return buf
 }
 
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
 // RankTime returns one rank's virtual clock.
 func (w *World) RankTime(r int) float64 { return w.clocks[r].now() }
 
@@ -756,13 +784,30 @@ func (w *World) MaxVirtualTime() float64 {
 // Run launches body on every rank of a fresh world and waits for all to
 // finish. It returns the world so callers can read virtual clocks.
 func Run(size int, model NetworkModel, body func(*Comm)) *World {
-	w := NewWorld(size, model)
+	return RunOn(NewWorld(size, model), body)
+}
+
+// RunOn launches body on every rank of an existing world — the entry
+// point for jobs that need the world configured up front (fault
+// injection, pre-seeded clocks). A rank unwinding with the abort signal
+// (a killed rank, or a peer of one) is contained here: the goroutine
+// exits cleanly and the failure is reported through w.Failure(). Any
+// other panic propagates and crashes the process, as before.
+func RunOn(w *World, body func(*Comm)) *World {
 	var wg sync.WaitGroup
-	wg.Add(size)
-	for r := 0; r < size; r++ {
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
 		comm := &Comm{world: w, rank: r}
 		go func(cm *Comm) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if _, ok := rec.(*abortSignal); ok {
+						return
+					}
+					panic(rec)
+				}
+			}()
 			body(cm)
 		}(comm)
 	}

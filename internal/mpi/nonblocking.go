@@ -50,6 +50,8 @@ func (c *Comm) IsendBuffered(dst int, tag int, data []float64) {
 	if dst < 0 || dst >= c.Size() {
 		panic(fmt.Sprintf("mpi: isend to invalid rank %d (size %d)", dst, c.Size()))
 	}
+	c.world.failGate()
+	c.noteSend(c.sends + 1)
 	wdst := c.worldRankOf(dst)
 	cp := c.world.takeBuf(len(data))
 	copy(cp, data)
@@ -168,6 +170,8 @@ func (c *Comm) match(src, tag int) message {
 				return m
 			}
 		}
+		// The deferred unlock releases box.mu as the signal unwinds.
+		c.world.failGate()
 		box.cond.Wait()
 	}
 }
@@ -200,6 +204,10 @@ func (c *Comm) matchAny(tag int) message {
 
 		w.arrivalMu[c.rank].Lock()
 		for w.arrivals[c.rank] == seen {
+			if err := w.Failure(); err != nil {
+				w.arrivalMu[c.rank].Unlock()
+				panic(&abortSignal{err: err})
+			}
 			w.arrivalCond[c.rank].Wait()
 		}
 		w.arrivalMu[c.rank].Unlock()

@@ -1,9 +1,12 @@
 package obs
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,10 +38,10 @@ const traceShards = 8
 
 // Event is one trace event, pre-serialization.
 type Event struct {
-	Ph   byte    // 'X' complete, 'i' instant, 's'/'f' flow
-	Cat  string  // category ("samr", "exec", "halo", "rkc", ...)
+	Ph   byte   // 'X' complete, 'i' instant, 's'/'f' flow
+	Cat  string // category ("samr", "exec", "halo", "rkc", ...)
 	Name string
-	Pid  int     // -1 means "this tracer's rank pid"
+	Pid  int // -1 means "this tracer's rank pid"
 	Tid  int
 	Ts   float64 // microseconds
 	Dur  float64 // microseconds, 'X' only
@@ -58,6 +61,18 @@ type Tracer struct {
 	g    *Group
 	rank int
 	sh   [traceShards]traceShard
+
+	// Spill streaming (see StreamTo): when spillCap > 0, any shard
+	// reaching that many buffered events is flushed to the spill file as
+	// JSON lines, bounding in-memory growth on long runs.
+	spillCap atomic.Int64
+	spill    struct {
+		mu   sync.Mutex
+		path string
+		f    *os.File
+		enc  *json.Encoder
+		err  error
+	}
 }
 
 // Rank returns the rank this tracer records for.
@@ -68,7 +83,10 @@ func (t *Tracer) nowUs() float64 {
 	return float64(time.Since(t.g.origin).Nanoseconds()) / 1e3
 }
 
-// Emit appends one event. Safe for concurrent use.
+// Emit appends one event. Safe for concurrent use. With spill streaming
+// enabled, a shard that reaches the cap hands its buffer to the spill
+// file outside the shard lock, so concurrent emitters on other tracks
+// never stall behind the disk.
 func (t *Tracer) Emit(ev Event) {
 	if t == nil {
 		return
@@ -77,9 +95,85 @@ func (t *Tracer) Emit(ev Event) {
 		ev.Pid = t.rank
 	}
 	s := &t.sh[uint(ev.Tid)%traceShards]
+	var flush []Event
 	s.mu.Lock()
 	s.evs = append(s.evs, ev)
+	if limit := t.spillCap.Load(); limit > 0 && int64(len(s.evs)) >= limit {
+		flush = s.evs
+		s.evs = nil
+	}
 	s.mu.Unlock()
+	if flush != nil {
+		t.spillOut(flush)
+	}
+}
+
+// spillOut appends a batch of events to the spill file.
+func (t *Tracer) spillOut(evs []Event) {
+	t.spill.mu.Lock()
+	defer t.spill.mu.Unlock()
+	if t.spill.f == nil {
+		return
+	}
+	for i := range evs {
+		if err := t.spill.enc.Encode(&evs[i]); err != nil {
+			if t.spill.err == nil {
+				t.spill.err = err
+			}
+			return
+		}
+	}
+}
+
+// streamTo (re)opens the tracer's spill file, truncating any previous
+// segment — a restore that reuses a trace directory starts clean.
+func (t *Tracer) streamTo(path string, shardCap int) error {
+	if t == nil {
+		return nil
+	}
+	if shardCap < 1 {
+		shardCap = 1
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	t.spill.mu.Lock()
+	if t.spill.f != nil {
+		t.spill.f.Close()
+	}
+	t.spill.path = path
+	t.spill.f = f
+	t.spill.enc = json.NewEncoder(f)
+	t.spill.err = nil
+	t.spill.mu.Unlock()
+	t.spillCap.Store(int64(shardCap))
+	return nil
+}
+
+// spillEvents reads back everything flushed to the spill file so far.
+func (t *Tracer) spillEvents() ([]Event, error) {
+	t.spill.mu.Lock()
+	defer t.spill.mu.Unlock()
+	if t.spill.f == nil {
+		return nil, t.spill.err
+	}
+	data, err := os.ReadFile(t.spill.path)
+	if err != nil {
+		return nil, err
+	}
+	var out []Event
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		var ev Event
+		if err := dec.Decode(&ev); err == io.EOF {
+			break
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, t.spill.err
 }
 
 var nop = func() {}
@@ -145,9 +239,10 @@ func (t *Tracer) VirtualRecv(id uint64, cat string, rank int, atSec float64, wor
 	t.Emit(Event{Ph: 'f', Cat: cat, Name: "flight", Pid: VirtualPid, Tid: rank, Ts: ts, ID: id})
 }
 
-// events returns a copy of everything recorded so far.
+// events returns a copy of everything recorded so far: the spilled
+// prefix (when streaming) followed by the in-memory residue.
 func (t *Tracer) events() []Event {
-	var out []Event
+	out, _ := t.spillEvents()
 	for i := range t.sh {
 		s := &t.sh[i]
 		s.mu.Lock()
@@ -155,6 +250,16 @@ func (t *Tracer) events() []Event {
 		s.mu.Unlock()
 	}
 	return out
+}
+
+// SpillError reports the first spill-write failure, if any.
+func (t *Tracer) SpillError() error {
+	if t == nil {
+		return nil
+	}
+	t.spill.mu.Lock()
+	defer t.spill.mu.Unlock()
+	return t.spill.err
 }
 
 // Obs is one rank's observability session: the shared-origin tracer
@@ -165,6 +270,11 @@ type Obs struct {
 	rank int
 	reg  *Registry
 	tr   *Tracer
+
+	// callPol is the port-call sampling policy (nil records all) and
+	// dropped caches its discard counter; see portcall.go.
+	callPol atomic.Pointer[portCallPolicy]
+	dropped atomic.Pointer[Counter]
 }
 
 // Rank returns the session's rank.
@@ -227,6 +337,25 @@ func (g *Group) Size() int { return len(g.ranks) }
 // Rank returns rank r's session.
 func (g *Group) Rank(r int) *Obs { return g.ranks[r] }
 
+// StreamTo enables incremental trace streaming: each rank spills any
+// event shard that reaches shardCap buffered events to
+// dir/trace-spill-r<rank>.jsonl, bounding in-memory trace growth on
+// long runs. Existing spill segments are truncated, so a restarted or
+// checkpoint-restored run reopens its trace cleanly. WriteTrace merges
+// the spilled prefix with the in-memory residue transparently.
+func (g *Group) StreamTo(dir string, shardCap int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, o := range g.ranks {
+		path := filepath.Join(dir, fmt.Sprintf("trace-spill-r%d.jsonl", o.tr.rank))
+		if err := o.tr.streamTo(path, shardCap); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // MergedSnapshot merges every rank's metrics registry.
 func (g *Group) MergedSnapshot() Snapshot {
 	snaps := make([]Snapshot, len(g.ranks))
@@ -280,6 +409,9 @@ type jsonEvent struct {
 func (g *Group) WriteTrace(w io.Writer) error {
 	var evs []Event
 	for _, o := range g.ranks {
+		if err := o.tr.SpillError(); err != nil {
+			return fmt.Errorf("obs: rank %d trace spill failed: %w", o.tr.rank, err)
+		}
 		evs = append(evs, o.tr.events()...)
 	}
 	// Stable order: by (pid, tid, ts, phase) so regenerating an

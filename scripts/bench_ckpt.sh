@@ -1,0 +1,13 @@
+#!/bin/sh
+# Regenerate the checkpoint/restart study artifact (BENCH_ckpt.json):
+# shard/manifest sizes, bit-for-bit restore verdicts for the flame and
+# shock drivers (serial and 4-rank), and the supervised fault-recovery
+# result. All JSON fields are deterministic; wall-clock timings go to
+# stdout only.
+#
+#   sh scripts/bench_ckpt.sh
+set -e
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/experiments -exp ckpt -ckptjson BENCH_ckpt.json

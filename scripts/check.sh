@@ -1,12 +1,21 @@
 #!/bin/sh
-# Tier-1 gate: vet, build, full test suite, then race-detector runs on
-# the packages with intra-rank parallelism (the exec worker pool and
-# everything that fans patch loops out over it). Run from the repo root:
+# Tier-1 gate: formatting, vet, build, full test suite, then
+# race-detector runs on the packages with intra-rank parallelism (the
+# exec worker pool and everything that fans patch loops out over it)
+# plus the checkpoint subsystem. Run from the repo root:
 #
 #   sh scripts/check.sh
 set -e
 
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l cmd internal)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -17,8 +26,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel engine + drivers + message substrate + observability)"
+echo "== go test -race (parallel engine + drivers + message substrate + observability + checkpoint)"
 go test -race ./internal/exec/... ./internal/components/... ./internal/core/... \
-	./internal/mpi/... ./internal/field/... ./internal/obs/... ./internal/cca/...
+	./internal/mpi/... ./internal/field/... ./internal/obs/... ./internal/cca/... \
+	./internal/ckpt/...
 
 echo "OK"
