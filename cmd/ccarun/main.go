@@ -54,6 +54,11 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 0, "checkpoint cadence in driver steps (0 = off)")
 	ckptDir := flag.String("ckpt-dir", "checkpoints", "checkpoint directory")
 	restorePath := flag.String("restore", "", "manifest path or checkpoint directory to resume from")
+	ckptIncremental := flag.Bool("ckpt-incremental", false, "write delta shards holding only patches that changed since the last checkpoint")
+	ckptFullEvery := flag.Int("ckpt-full-every", 8, "with -ckpt-incremental: force a full checkpoint after this many deltas")
+	ckptCompress := flag.Bool("ckpt-compress", false, "gzip checkpoint shard payloads")
+	ckptKeep := flag.Int("ckpt-keep", 0, "retention: keep only the newest K checkpoints (0 = keep all)")
+	ckptKeepEvery := flag.Int("ckpt-keep-every", 0, "retention: additionally keep every N-th step")
 	faultSpec := flag.String("fault", "", "inject a rank fault (np>1): kill:RANK@STEP or stall:RANK@STEP:SECONDS")
 	maxRetries := flag.Int("max-retries", 2, "relaunch budget when a rank failure hits a checkpointed run")
 	obsSample := flag.Int("obssample", 0, "record 1 of every N port calls (0 or 1 = record all)")
@@ -184,7 +189,16 @@ func main() {
 			if err := setup.Execute(f); err != nil {
 				return err
 			}
-			if err := core.WireCheckpoint(f, *ckptDir, restore, *ckptEvery); err != nil {
+			if err := core.WireCheckpointOpts(f, core.CheckpointOptions{
+				Every:       *ckptEvery,
+				Dir:         *ckptDir,
+				Restore:     restore,
+				Incremental: *ckptIncremental,
+				FullEvery:   *ckptFullEvery,
+				Compress:    *ckptCompress,
+				Keep:        *ckptKeep,
+				KeepEvery:   *ckptKeepEvery,
+			}); err != nil {
 				return err
 			}
 			return goPhase.Execute(f)

@@ -1,0 +1,64 @@
+package amr
+
+import "fmt"
+
+// Repartition: elastic restart support. A checkpoint records the patch
+// geometry produced under P_old ranks; restoring onto P_new ranks must
+// yield the hierarchy a native P_new run would be using at that point.
+// Two facts make that well-defined:
+//
+//   - Refined-level boxes are P-invariant: clustering and splitting act
+//     on replicated flag data, so only the *owners* (and IDs) of level
+//     1+ patches depend on the rank count. Reassigning the snapshot's
+//     boxes, in their stored (creation) order, through the same
+//     balancer a native run uses reproduces the native distribution.
+//   - Level 0 is a pure function of (domain, P): NewHierarchy's uniform
+//     decomposition. It is rebuilt from scratch for P_new; its boxes
+//     generally differ from the snapshot's, so the caller must copy
+//     level-0 field data by region, not by patch identity.
+//
+// Patch IDs restart from zero (level 0 first, then each finer level in
+// order), exactly as a native run's would after its construction-and-
+// regrid sequence — IDs never enter the numerics, only identity
+// matching, and every rank computing Repartition from the same
+// replicated snapshot lands on the same IDs.
+
+// Repartition rebuilds a snapshotted hierarchy for a different rank
+// count. balancer defaults to GreedyBalancer and work to
+// UniformWorkload — pass the same policy the running mesh uses so the
+// layout matches what its next regrid would produce.
+func Repartition(s Snapshot, numRanks int, balancer LoadBalancer, work Workload) (*Hierarchy, error) {
+	if numRanks < 1 {
+		return nil, fmt.Errorf("amr: repartition onto %d ranks", numRanks)
+	}
+	// Validate the snapshot through the strict single-P loader first.
+	old, err := FromSnapshot(s)
+	if err != nil {
+		return nil, err
+	}
+	if balancer == nil {
+		balancer = GreedyBalancer{}
+	}
+	if work == nil {
+		work = UniformWorkload
+	}
+	h := NewHierarchy(s.Domain, s.Ratio, s.MaxLevels, numRanks)
+	h.Balancer = balancer
+	h.NestingBuffer = s.NestingBuffer
+	h.Regrids = s.Regrids
+	for l := 1; l < old.NumLevels(); l++ {
+		src := old.Level(l)
+		boxes := make([]Box, len(src.Patches))
+		for i, p := range src.Patches {
+			boxes[i] = p.Box
+		}
+		owners := balancer.Assign(boxes, l, numRanks, work)
+		lv := &Level{Index: l, Domain: h.levelDomain(l)}
+		for i, b := range boxes {
+			lv.Patches = append(lv.Patches, &Patch{ID: h.takeID(), Level: l, Box: b, Owner: owners[i]})
+		}
+		h.levels = append(h.levels, lv)
+	}
+	h.linkFamilies()
+	return h, nil
+}

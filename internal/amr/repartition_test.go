@@ -1,0 +1,56 @@
+package amr
+
+import (
+	"reflect"
+	"testing"
+)
+
+// regriddedHierarchy builds a 3-level hierarchy under numRanks ranks.
+func regriddedHierarchy(numRanks int) *Hierarchy {
+	h := NewHierarchy(NewBox(0, 0, 99, 99), 2, 3, numRanks)
+	f0 := NewFlagField(h.LevelDomain(0))
+	f0.SetBox(NewBox(40, 40, 59, 59))
+	f1 := NewFlagField(h.LevelDomain(1))
+	f1.SetBox(NewBox(90, 90, 109, 109))
+	h.Regrid([]*FlagField{f0, f1}, DefaultRegridOptions)
+	return h
+}
+
+func TestRepartitionMatchesNativeLayout(t *testing.T) {
+	// Refined-level box generation is P-invariant, so a hierarchy built
+	// under P_old and repartitioned onto P_new must equal the hierarchy a
+	// native P_new run builds from the same flags — boxes, owners, and
+	// IDs alike. (This is the property elastic restart stands on.)
+	for _, pOld := range []int{1, 2, 4} {
+		snap := regriddedHierarchy(pOld).Snapshot()
+		for _, pNew := range []int{1, 2, 3, 4} {
+			got, err := Repartition(snap, pNew, GreedyBalancer{}, UniformWorkload)
+			if err != nil {
+				t.Fatalf("Repartition %d->%d: %v", pOld, pNew, err)
+			}
+			native := regriddedHierarchy(pNew)
+			if !reflect.DeepEqual(got.Snapshot().Patches, native.Snapshot().Patches) {
+				t.Errorf("repartition %d->%d layout differs from native:\n got %v\nwant %v",
+					pOld, pNew, got.Snapshot().Patches, native.Snapshot().Patches)
+			}
+			if err := got.CheckProperNesting(); err != nil {
+				t.Errorf("repartition %d->%d: %v", pOld, pNew, err)
+			}
+			if got.Regrids != snap.Regrids || got.NestingBuffer != snap.NestingBuffer {
+				t.Errorf("repartition %d->%d lost counters", pOld, pNew)
+			}
+		}
+	}
+}
+
+func TestRepartitionRejectsBadInput(t *testing.T) {
+	snap := regriddedHierarchy(2).Snapshot()
+	if _, err := Repartition(snap, 0, nil, nil); err == nil {
+		t.Error("accepted 0 ranks")
+	}
+	bad := snap
+	bad.Patches = nil
+	if _, err := Repartition(bad, 2, nil, nil); err == nil {
+		t.Error("accepted empty snapshot")
+	}
+}

@@ -43,6 +43,14 @@ type CkptCase struct {
 	Faulted     bool   // a rank kill was injected
 	Attempts    int    // supervisor attempts (fault case; else 1)
 	Recovered   bool   // fault case: supervisor completed the run
+
+	// Incremental/compression study columns (zero for plain cases).
+	Incremental   bool
+	Compressed    bool
+	ChainLen      int     // delta-chain links behind the restored checkpoint
+	BaselineBytes uint64  // full/raw shard bytes at the steady-state step
+	ReducedBytes  uint64  // delta/compressed shard bytes at the same step
+	SavingsX      float64 // BaselineBytes / ReducedBytes
 }
 
 // CkptReport is the BENCH_ckpt.json artifact.
@@ -188,6 +196,101 @@ func sameRankBits(a, b [][]float64) bool {
 		}
 	}
 	return true
+}
+
+// runCkptRanks is the generic runner behind the incremental and
+// compression cases: any assembly, any world, full checkpoint options.
+func runCkptRanks(w *mpi.World, assemble func(*cca.Framework) error, fieldName string, o core.CheckpointOptions) ([][]float64, error) {
+	var mu sync.Mutex
+	ranks := make([][]float64, w.Size())
+	res := cca.RunSCMDOn(w, core.Repo(), func(f *cca.Framework, comm *mpi.Comm) error {
+		if err := assemble(f); err != nil {
+			return err
+		}
+		if err := core.WireCheckpointOpts(f, o); err != nil {
+			return err
+		}
+		if err := f.Go("driver", "go"); err != nil {
+			return err
+		}
+		bits, err := fieldBits(f, fieldName)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		ranks[comm.Rank()] = bits
+		mu.Unlock()
+		return nil
+	})
+	return ranks, res.Err()
+}
+
+// shardBytesAt sums the shard sizes a step's manifest records.
+func shardBytesAt(dir string, step int) (uint64, error) {
+	m, err := ckpt.ReadManifest(filepath.Join(dir, ckpt.ManifestFileName(step)))
+	if err != nil {
+		return 0, err
+	}
+	var total uint64
+	for _, s := range m.Shards {
+		total += s.Size
+	}
+	return total, nil
+}
+
+// incrementalCase runs one problem three ways — uninterrupted
+// reference, full checkpoints every step, incremental checkpoints every
+// step — then restores through the delta chain and fills the
+// savings/verdict columns.
+func incrementalCase(out io.Writer, scratch string, c CkptCase,
+	assemble func(*cca.Framework) error, fieldName string, steadyStep int) (CkptCase, error) {
+	world := func() *mpi.World { return mpi.NewWorld(c.Ranks, mpi.CPlantModel) }
+	ref, err := runCkptRanks(world(), assemble, fieldName,
+		core.CheckpointOptions{Dir: filepath.Join(scratch, c.Name+"-ref")})
+	if err != nil {
+		return c, err
+	}
+	fullDir := filepath.Join(scratch, c.Name+"-full")
+	if _, err := runCkptRanks(world(), assemble, fieldName,
+		core.CheckpointOptions{Every: c.Every, Dir: fullDir}); err != nil {
+		return c, err
+	}
+	incDir := filepath.Join(scratch, c.Name)
+	t0 := time.Now()
+	if _, err := runCkptRanks(world(), assemble, fieldName,
+		core.CheckpointOptions{Every: c.Every, Dir: incDir, Incremental: true, FullEvery: 100}); err != nil {
+		return c, err
+	}
+	writeWall := time.Since(t0)
+
+	if c.BaselineBytes, err = shardBytesAt(fullDir, steadyStep); err != nil {
+		return c, err
+	}
+	if c.ReducedBytes, err = shardBytesAt(incDir, steadyStep); err != nil {
+		return c, err
+	}
+	c.SavingsX = float64(c.BaselineBytes) / float64(c.ReducedBytes)
+
+	target := filepath.Join(incDir, ckpt.ManifestFileName(c.RestoreStep))
+	chain, err := ckpt.ResolveChain(target)
+	if err != nil {
+		return c, err
+	}
+	c.ChainLen = len(chain)
+	t0 = time.Now()
+	got, err := runCkptRanks(world(), assemble, fieldName,
+		core.CheckpointOptions{Dir: filepath.Join(scratch, c.Name+"-resume"), Restore: target})
+	if err != nil {
+		return c, err
+	}
+	fmt.Fprintf(out, "%-20s write run %8.1f ms, chain restore %8.1f ms, delta %d B vs full %d B (%.1fx)\n",
+		c.Name, writeWall.Seconds()*1e3, time.Since(t0).Seconds()*1e3,
+		c.ReducedBytes, c.BaselineBytes, c.SavingsX)
+	c.BitForBit = sameRankBits(ref, got)
+	if err := inspectManifest(&c, incDir, c.RestoreStep); err != nil {
+		return c, err
+	}
+	return c, nil
 }
 
 // BuildCkptReport runs the four checkpoint configurations. out receives
@@ -340,20 +443,130 @@ func BuildCkptReport(out io.Writer, scratch string) (*CkptReport, error) {
 		}
 		rep.Cases = append(rep.Cases, c)
 	}
+
+	// Case 5: incremental flame. The reaction term advances every cell
+	// every step, so every patch's fingerprint changes and deltas buy
+	// almost nothing — this row is the honest floor of the study:
+	// dirty-bit tracking only skips patches that are genuinely clean.
+	{
+		c := CkptCase{Name: "flame-incremental", Driver: "rd", Ranks: 4, Steps: 6, Every: 1,
+			RestoreStep: 4, Attempts: 1, Incremental: true}
+		p := []core.Param{
+			{Instance: "grace", Key: "nx", Value: "16"}, {Instance: "grace", Key: "ny", Value: "16"},
+			{Instance: "grace", Key: "maxLevels", Value: "1"},
+			{Instance: "driver", Key: "steps", Value: "6"},
+			{Instance: "driver", Key: "dt", Value: "1e-7"},
+			{Instance: "driver", Key: "regridEvery", Value: "0"},
+		}
+		assemble := func(f *cca.Framework) error { return core.AssembleReactionDiffusion(f, p...) }
+		c, err := incrementalCase(out, scratch, c, assemble, "phi", 5)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+
+	// Case 6: incremental shock on a wide domain. The shock sits at
+	// 0.2·Lx and the oblique interface at 0.4·Lx; everywhere else the
+	// state is uniform, so Godunov flux differences are exactly zero and
+	// those cells are bitwise-stationary. With 8 ranks the 256×8 grid
+	// decomposes into eight 32-wide stripes and only the two stripes
+	// holding the discontinuities ever change — the steady-state delta
+	// step writes ~2/8 of the full payload.
+	{
+		c := CkptCase{Name: "shock-incremental", Driver: "shock", Ranks: 8, Steps: 6, Every: 1,
+			RestoreStep: 4, Attempts: 1, Incremental: true}
+		sp := []core.Param{
+			{Instance: "grace", Key: "nx", Value: "256"}, {Instance: "grace", Key: "ny", Value: "8"},
+			{Instance: "grace", Key: "lx", Value: "2.0"}, {Instance: "grace", Key: "ly", Value: "0.0625"},
+			{Instance: "grace", Key: "maxLevels", Value: "1"},
+			{Instance: "driver", Key: "tEnd", Value: "1.0"},
+			{Instance: "driver", Key: "maxSteps", Value: "6"},
+			{Instance: "driver", Key: "regridEvery", Value: "0"},
+		}
+		assemble := func(f *cca.Framework) error { return core.AssembleShockInterface(f, "GodunovFlux", sp...) }
+		c, err := incrementalCase(out, scratch, c, assemble, "U", 5)
+		if err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
+
+	// Case 7: gzip-framed flame shards (format v2 compressed sections)
+	// against raw v2, restore bit-for-bit from the compressed chain.
+	{
+		c := CkptCase{Name: "flame-compress", Driver: "rd", Ranks: 1, Steps: steps, Every: 1,
+			RestoreStep: 3, Attempts: 1, Compressed: true}
+		assemble := func(f *cca.Framework) error { return core.AssembleReactionDiffusion(f, params...) }
+		world := func() *mpi.World { return mpi.NewWorld(1, mpi.CPlantModel) }
+		ref, err := runCkptRanks(world(), assemble, "phi",
+			core.CheckpointOptions{Dir: filepath.Join(scratch, c.Name+"-ref")})
+		if err != nil {
+			return nil, err
+		}
+		rawDir := filepath.Join(scratch, c.Name+"-raw")
+		if _, err := runCkptRanks(world(), assemble, "phi",
+			core.CheckpointOptions{Every: 1, Dir: rawDir}); err != nil {
+			return nil, err
+		}
+		dir := filepath.Join(scratch, c.Name)
+		t0 := time.Now()
+		if _, err := runCkptRanks(world(), assemble, "phi",
+			core.CheckpointOptions{Every: 1, Dir: dir, Compress: true}); err != nil {
+			return nil, err
+		}
+		saveWall := time.Since(t0)
+		if c.BaselineBytes, err = shardBytesAt(rawDir, c.RestoreStep); err != nil {
+			return nil, err
+		}
+		if c.ReducedBytes, err = shardBytesAt(dir, c.RestoreStep); err != nil {
+			return nil, err
+		}
+		c.SavingsX = float64(c.BaselineBytes) / float64(c.ReducedBytes)
+		t0 = time.Now()
+		got, err := runCkptRanks(world(), assemble, "phi",
+			core.CheckpointOptions{Dir: filepath.Join(scratch, c.Name+"-resume"),
+				Restore: filepath.Join(dir, ckpt.ManifestFileName(c.RestoreStep))})
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(out, "%-20s write run %8.1f ms, resume run %8.1f ms, gzip %d B vs raw %d B (%.1fx)\n",
+			c.Name, saveWall.Seconds()*1e3, time.Since(t0).Seconds()*1e3,
+			c.ReducedBytes, c.BaselineBytes, c.SavingsX)
+		c.BitForBit = sameRankBits(ref, got)
+		if err := inspectManifest(&c, dir, c.RestoreStep); err != nil {
+			return nil, err
+		}
+		rep.Cases = append(rep.Cases, c)
+	}
 	return rep, nil
 }
 
 // PrintCkptReport renders the study as a table.
 func PrintCkptReport(w io.Writer, rep *CkptReport) {
-	fmt.Fprintf(w, "%-20s %-6s %5s %5s %5s %9s %8s %7s %6s %10s %9s\n",
-		"case", "driver", "ranks", "steps", "every", "shardB", "maniB", "patches", "cells", "bit4bit", "recovered")
+	fmt.Fprintf(w, "%-20s %-6s %5s %5s %5s %-5s %5s %9s %9s %6s %10s %9s\n",
+		"case", "driver", "ranks", "steps", "every", "mode", "chain", "baseB", "shardB", "saveX", "bit4bit", "recovered")
 	for _, c := range rep.Cases {
 		rec := "-"
 		if c.Faulted {
 			rec = fmt.Sprintf("%v/%d", c.Recovered, c.Attempts)
 		}
-		fmt.Fprintf(w, "%-20s %-6s %5d %5d %5d %9d %8d %7d %6d %10v %9s\n",
-			c.Name, c.Driver, c.Ranks, c.Steps, c.Every, c.ShardBytes, c.ManifestLen,
-			c.Patches, c.Cells, c.BitForBit, rec)
+		mode := "full"
+		if c.Incremental {
+			mode = "incr"
+		} else if c.Compressed {
+			mode = "gzip"
+		}
+		save := "-"
+		if c.SavingsX > 0 {
+			save = fmt.Sprintf("%.1fx", c.SavingsX)
+		}
+		base := "-"
+		if c.BaselineBytes > 0 {
+			base = fmt.Sprintf("%d", c.BaselineBytes)
+		}
+		fmt.Fprintf(w, "%-20s %-6s %5d %5d %5d %-5s %5d %9s %9d %6s %10v %9s\n",
+			c.Name, c.Driver, c.Ranks, c.Steps, c.Every, mode, c.ChainLen,
+			base, c.ShardBytes, save, c.BitForBit, rec)
 	}
 }

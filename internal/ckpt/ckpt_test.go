@@ -285,3 +285,65 @@ func TestSuperviseRetriesOnRankFailure(t *testing.T) {
 		t.Fatalf("exhausted retries: err=%v calls=%d", err, calls)
 	}
 }
+
+// writeDurableCkpt deposits a complete single-rank checkpoint (shard +
+// manifest) at the given step and returns the manifest path.
+func writeDurableCkpt(t *testing.T, dir string, step int) string {
+	t.Helper()
+	shard := EncodeShard(testShard(), nil)
+	name := ShardFileName(step, 0)
+	size, crc := Digest(shard)
+	if err := os.WriteFile(filepath.Join(dir, name), shard, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := &Manifest{Step: step, NumRanks: 1, Shards: []ManifestEntry{{File: name, Size: size, CRC: crc}}}
+	m.ID = ManifestID(m)
+	mPath := filepath.Join(dir, ManifestFileName(step))
+	if err := os.WriteFile(mPath, EncodeManifest(m), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return mPath
+}
+
+// Regression: Supervise must re-read the checkpoint directory before
+// EVERY relaunch, not reuse a restore point captured at the previous
+// failure. Checkpoints that land during a failed attempt (the async
+// writer finishing its last manifest as the job dies) must be honored,
+// and checkpoints that rot between attempts must be skipped.
+func TestSuperviseReReadsManifestEachRetry(t *testing.T) {
+	dir := t.TempDir()
+	m5 := writeDurableCkpt(t, dir, 5)
+
+	var restores []string
+	calls := 0
+	err := Supervise(dir, 5, func(restore string) error {
+		restores = append(restores, restore)
+		calls++
+		switch calls {
+		case 1:
+			// The dying attempt's writer lands a newer checkpoint.
+			writeDurableCkpt(t, dir, 9)
+			return &mpi.FaultError{Rank: 1, At: "step 9"}
+		case 2:
+			// The newest checkpoint rots before the next relaunch.
+			if err := os.Truncate(filepath.Join(dir, ShardFileName(9, 0)), 10); err != nil {
+				t.Fatal(err)
+			}
+			return &mpi.FaultError{Rank: 1, At: "step 9 again"}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Supervise: %v", err)
+	}
+	m9 := filepath.Join(dir, ManifestFileName(9))
+	want := []string{"", m9, m5}
+	if len(restores) != len(want) {
+		t.Fatalf("restore sequence %q, want %q", restores, want)
+	}
+	for i := range want {
+		if restores[i] != want[i] {
+			t.Fatalf("restore[%d] = %q, want %q (full sequence %q)", i, restores[i], want[i], restores)
+		}
+	}
+}

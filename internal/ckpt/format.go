@@ -6,23 +6,34 @@
 // (per-rank shards, a rank-0 manifest validating them, an asynchronous
 // writer, and a supervised retry loop for fault recovery).
 //
-// Layout of one shard file:
+// Layout of one shard file (format version 2):
 //
 //	magic "CCAHCKPT" | version u32 | section*
-//	section := kind u32 | len u64 | payload | crc32(payload) u32
+//	section := kind u32 | flags u32 | ulen u64 | clen u64 | stored | crc32(stored) u32
+//
+// flags bit 0 marks a gzip-compressed section: stored is the gzip
+// stream of the raw payload (clen bytes on disk, ulen bytes raw). The
+// CRC always covers the stored bytes, so manifests validate shards
+// without decompressing them. Version-1 shards (no flags/clen words,
+// payload always raw) remain fully readable.
 //
 // Sections appear in order: one header, one hierarchy, one field per
-// registered variable, one meta. All integers are little-endian; signed
-// values travel as two's-complement u64; floats travel as IEEE-754 bit
-// patterns (math.Float64bits), which is what makes restores bit-exact.
-// Every decode path is bounds-checked and returns an error — corrupt or
-// truncated input never panics.
+// registered variable, one meta. A *full* shard carries every locally
+// owned patch; a *delta* shard (header kind 1) carries only the patches
+// dirtied since the parent checkpoint it references. All integers are
+// little-endian; signed values travel as two's-complement u64; floats
+// travel as IEEE-754 bit patterns (math.Float64bits), which is what
+// makes restores bit-exact. Every decode path is bounds-checked and
+// returns an error — corrupt or truncated input never panics.
 package ckpt
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"math"
 	"sort"
 
@@ -31,9 +42,12 @@ import (
 	"ccahydro/internal/mpi"
 )
 
-// FormatVersion is bumped on any incompatible layout change; loads
-// reject mismatched versions outright.
-const FormatVersion = 1
+// FormatVersion is the version this build writes; decoders accept every
+// version back to MinFormatVersion.
+const (
+	FormatVersion    = 2
+	MinFormatVersion = 1
+)
 
 const shardMagic = "CCAHCKPT"
 
@@ -45,12 +59,34 @@ const (
 	secMeta
 )
 
+// Section flags (v2 framing).
+const sectionGzip uint32 = 1 << 0
+
+// ShardKind distinguishes full checkpoints from incremental deltas.
+type ShardKind int
+
+const (
+	// ShardFull carries every locally owned patch of every field.
+	ShardFull ShardKind = iota
+	// ShardDelta carries only patches dirtied since the parent
+	// checkpoint; restore overlays it onto the materialized parent.
+	ShardDelta
+)
+
+func (k ShardKind) String() string {
+	if k == ShardDelta {
+		return "delta"
+	}
+	return "full"
+}
+
 // Decode sanity caps: a corrupt length field must fail fast instead of
 // driving a multi-gigabyte allocation.
 const (
-	maxStringLen = 1 << 20
-	maxCount     = 1 << 24
-	maxWords     = 1 << 31
+	maxStringLen  = 1 << 20
+	maxCount      = 1 << 24
+	maxWords      = 1 << 31
+	maxSectionLen = 1 << 32
 )
 
 // PatchBlob is one patch's complete backing array (component-major over
@@ -83,13 +119,18 @@ type Meta struct {
 	Comm        mpi.CommStats
 }
 
-// Shard is one rank's complete checkpoint state.
+// Shard is one rank's checkpoint state: complete for ShardFull, only
+// the dirtied patches for ShardDelta. ParentStep is the step of the
+// checkpoint a delta overlays (meaningful only when Kind==ShardDelta;
+// -1 otherwise).
 type Shard struct {
-	Rank     int
-	NumRanks int
-	Snapshot amr.Snapshot
-	Fields   []FieldShard
-	Meta     Meta
+	Rank       int
+	NumRanks   int
+	Kind       ShardKind
+	ParentStep int
+	Snapshot   amr.Snapshot
+	Fields     []FieldShard
+	Meta       Meta
 }
 
 // ---- encoding ----
@@ -119,12 +160,70 @@ func (e *encoder) box(b amr.Box) {
 	e.i64(b.Hi[1])
 }
 
-// section appends one framed section (kind, length, payload, CRC).
-func (e *encoder) section(kind uint32, payload []byte) {
+// section appends one v2 framed section. When compress is set and the
+// gzip stream comes out smaller, the payload is stored compressed
+// (flags bit 0); otherwise it is stored raw. The CRC covers the stored
+// bytes either way.
+func (e *encoder) section(kind uint32, payload []byte, compress bool) {
+	stored := payload
+	var flags uint32
+	if compress && len(payload) >= 128 {
+		if gz := gzipBytes(payload); len(gz) < len(payload) {
+			stored = gz
+			flags = sectionGzip
+		}
+	}
 	e.u32(kind)
+	e.u32(flags)
 	e.u64(uint64(len(payload)))
-	e.b = append(e.b, payload...)
-	e.u32(crc32.ChecksumIEEE(payload))
+	e.u64(uint64(len(stored)))
+	e.b = append(e.b, stored...)
+	e.u32(crc32.ChecksumIEEE(stored))
+}
+
+// gzipBytes compresses deterministically (fixed level, zero header).
+func gzipBytes(raw []byte) []byte {
+	var buf bytes.Buffer
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	zw.Write(raw) //nolint:errcheck // bytes.Buffer cannot fail
+	zw.Close()    //nolint:errcheck
+	return buf.Bytes()
+}
+
+// gunzipBytes inflates a stored section, enforcing the recorded raw
+// length: any mismatch or stream damage is an error, never a panic.
+func gunzipBytes(stored []byte, ulen int) ([]byte, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(stored))
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: gzip section: %w", err)
+	}
+	// Cap the up-front allocation: ulen is untrusted until the stream
+	// actually inflates to it, and a corrupt header must not drive a
+	// multi-gigabyte make. append grows the honest case just fine.
+	prealloc := ulen
+	if prealloc > 1<<20 {
+		prealloc = 1 << 20
+	}
+	raw := make([]byte, 0, prealloc)
+	lim := io.LimitReader(zr, int64(ulen)+1)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := lim.Read(buf)
+		raw = append(raw, buf[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ckpt: gzip section: %w", err)
+		}
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("ckpt: gzip section: %w", err)
+	}
+	if len(raw) != ulen {
+		return nil, fmt.Errorf("ckpt: gzip section inflated to %d bytes, header says %d", len(raw), ulen)
+	}
+	return raw, nil
 }
 
 func encodeHierarchy(s amr.Snapshot) []byte {
@@ -226,22 +325,31 @@ func encodeField(f *FieldShard, pool *exec.Pool) []byte {
 	return buf
 }
 
-// EncodeShard serializes one rank's checkpoint state. When pool is
-// non-nil the per-patch field payloads are packed in parallel on it.
+// EncodeShard serializes one rank's checkpoint state uncompressed. When
+// pool is non-nil the per-patch field payloads are packed in parallel.
 func EncodeShard(s *Shard, pool *exec.Pool) []byte {
+	return EncodeShardOpts(s, pool, false)
+}
+
+// EncodeShardOpts serializes one rank's checkpoint state, optionally
+// gzip-compressing section payloads (a section is stored raw when
+// compression does not shrink it).
+func EncodeShardOpts(s *Shard, pool *exec.Pool, compress bool) []byte {
 	var hdr encoder
 	hdr.i64(s.Rank)
 	hdr.i64(s.NumRanks)
+	hdr.u64(uint64(s.Kind))
+	hdr.i64(s.ParentStep)
 
 	var e encoder
 	e.b = append(e.b, shardMagic...)
 	e.u32(FormatVersion)
-	e.section(secHeader, hdr.b)
-	e.section(secHierarchy, encodeHierarchy(s.Snapshot))
+	e.section(secHeader, hdr.b, false)
+	e.section(secHierarchy, encodeHierarchy(s.Snapshot), compress)
 	for i := range s.Fields {
-		e.section(secField, encodeField(&s.Fields[i], pool))
+		e.section(secField, encodeField(&s.Fields[i], pool), compress)
 	}
-	e.section(secMeta, encodeMeta(&s.Meta))
+	e.section(secMeta, encodeMeta(&s.Meta), compress)
 	return e.b
 }
 
@@ -488,10 +596,66 @@ func decodeMeta(payload []byte) (Meta, error) {
 	return m, nil
 }
 
-// DecodeShard parses and validates one shard file's contents. Sections
-// are CRC-verified individually; any structural damage — bad magic,
-// version skew, truncation, bit flips, out-of-range counts — returns a
-// descriptive error.
+// readSection consumes one framed section for the given format version
+// and returns (kind, raw payload). Version 1 frames are kind|len|
+// payload|crc; version 2 adds flags and the stored length, and inflates
+// gzip payloads after the CRC check.
+func readSection(d *decoder, ver uint32) (uint32, []byte, error) {
+	kind, err := d.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	var flags uint32
+	ulen := uint64(0)
+	if ver >= 2 {
+		if flags, err = d.u32(); err != nil {
+			return 0, nil, err
+		}
+		if flags&^sectionGzip != 0 {
+			return 0, nil, fmt.Errorf("ckpt: section %d has unknown flags %#x", kind, flags)
+		}
+		if ulen, err = d.u64(); err != nil {
+			return 0, nil, err
+		}
+		if ulen > maxSectionLen {
+			return 0, nil, fmt.Errorf("ckpt: section %d raw length %d exceeds sanity cap", kind, ulen)
+		}
+	}
+	n, err := d.u64()
+	if err != nil {
+		return 0, nil, err
+	}
+	if int64(n) < 0 || int(n) > d.remaining()-4 {
+		return 0, nil, fmt.Errorf("ckpt: section %d length %d out of bounds at offset %d", kind, n, d.off)
+	}
+	stored := d.b[d.off : d.off+int(n)]
+	d.off += int(n)
+	wantCRC, err := d.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if got := crc32.ChecksumIEEE(stored); got != wantCRC {
+		return 0, nil, fmt.Errorf("ckpt: section %d CRC mismatch (got %08x want %08x)", kind, got, wantCRC)
+	}
+	payload := stored
+	if ver >= 2 {
+		if flags&sectionGzip != 0 {
+			if payload, err = gunzipBytes(stored, int(ulen)); err != nil {
+				return 0, nil, fmt.Errorf("ckpt: section %d: %w", kind, err)
+			}
+		} else if uint64(len(stored)) != ulen {
+			return 0, nil, fmt.Errorf("ckpt: section %d stored length %d != raw length %d without compression",
+				kind, len(stored), ulen)
+		}
+	}
+	return kind, payload, nil
+}
+
+// DecodeShard parses and validates one shard file's contents — this
+// build's version 2 or the original version 1. Sections are
+// CRC-verified individually; any structural damage — bad magic, version
+// skew, truncation, bit flips, corrupt gzip frames, out-of-range counts
+// — returns a descriptive error.
 func DecodeShard(b []byte) (*Shard, error) {
 	d := &decoder{b: b}
 	if d.remaining() < len(shardMagic) || string(b[:len(shardMagic)]) != shardMagic {
@@ -502,31 +666,15 @@ func DecodeShard(b []byte) (*Shard, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != FormatVersion {
-		return nil, fmt.Errorf("ckpt: format version %d, this build reads %d", ver, FormatVersion)
+	if ver < MinFormatVersion || ver > FormatVersion {
+		return nil, fmt.Errorf("ckpt: format version %d, this build reads %d..%d", ver, MinFormatVersion, FormatVersion)
 	}
-	s := &Shard{Rank: -1}
+	s := &Shard{Rank: -1, ParentStep: -1}
 	var haveHeader, haveHierarchy, haveMeta bool
 	for d.remaining() > 0 {
-		kind, err := d.u32()
+		kind, payload, err := readSection(d, ver)
 		if err != nil {
 			return nil, err
-		}
-		n, err := d.u64()
-		if err != nil {
-			return nil, err
-		}
-		if int64(n) < 0 || int(n) > d.remaining()-4 {
-			return nil, fmt.Errorf("ckpt: section %d length %d out of bounds at offset %d", kind, n, d.off)
-		}
-		payload := d.b[d.off : d.off+int(n)]
-		d.off += int(n)
-		wantCRC, err := d.u32()
-		if err != nil {
-			return nil, err
-		}
-		if got := crc32.ChecksumIEEE(payload); got != wantCRC {
-			return nil, fmt.Errorf("ckpt: section %d CRC mismatch (got %08x want %08x)", kind, got, wantCRC)
 		}
 		switch kind {
 		case secHeader:
@@ -536,6 +684,19 @@ func DecodeShard(b []byte) (*Shard, error) {
 			}
 			if s.NumRanks, err = hd.i64(); err != nil {
 				return nil, err
+			}
+			if ver >= 2 {
+				k, err := hd.u64()
+				if err != nil {
+					return nil, err
+				}
+				if k > uint64(ShardDelta) {
+					return nil, fmt.Errorf("ckpt: header shard kind %d out of range", k)
+				}
+				s.Kind = ShardKind(k)
+				if s.ParentStep, err = hd.i64(); err != nil {
+					return nil, err
+				}
 			}
 			if s.NumRanks < 1 || s.Rank < 0 || s.Rank >= s.NumRanks {
 				return nil, fmt.Errorf("ckpt: header rank %d/%d out of range", s.Rank, s.NumRanks)

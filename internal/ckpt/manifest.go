@@ -15,10 +15,16 @@ import (
 // durable only when its manifest exists AND every shard it names
 // validates against the recorded digest — so a crash mid-write (missing
 // shard, short shard, torn bytes) simply invalidates that step and
-// recovery falls back to the previous one.
+// recovery falls back to the previous one. Incremental checkpoints add
+// chain linkage: a delta manifest names its parent checkpoint by
+// content-derived ID and step, and a delta counts as restorable only
+// when the whole chain down to a full base validates (ResolveChain).
 //
 //	magic "CCAHMANI" | version u32 | body | crc32(body) u32
-//	body := step u64 | nranks u64 | (file string, size u64, crc u32)*
+//	v1 body := step u64 | nranks u64 | entry*
+//	v2 body := step u64 | nranks u64 | kind u64 | parentStep u64(two's complement)
+//	           | id string | parentID string | entry*
+//	entry    := file string | size u64 | crc u32
 const manifestMagic = "CCAHMANI"
 
 // ManifestEntry names one rank's shard file and its expected digest.
@@ -28,11 +34,18 @@ type ManifestEntry struct {
 	CRC  uint32
 }
 
-// Manifest indexes one durable checkpoint.
+// Manifest indexes one durable checkpoint. ID is derived from the shard
+// digests (see ManifestID); ParentID/ParentStep link a delta to the
+// checkpoint it overlays and are meaningful only when Kind==ShardDelta
+// (ParentStep is -1 otherwise; v1 manifests decode as full with no ID).
 type Manifest struct {
-	Step     int
-	NumRanks int
-	Shards   []ManifestEntry
+	Step       int
+	NumRanks   int
+	Kind       ShardKind
+	ID         string
+	ParentID   string
+	ParentStep int
+	Shards     []ManifestEntry
 }
 
 // ShardFileName is the per-rank shard file name for a step.
@@ -51,11 +64,30 @@ func Digest(data []byte) (uint64, uint32) {
 	return uint64(len(data)), crc32.ChecksumIEEE(data)
 }
 
+// ManifestID derives the checkpoint's content ID from its step, rank
+// count, and shard digests — every rank computes the same value from
+// the same durable bytes, with no extra communication.
+func ManifestID(m *Manifest) string {
+	var e encoder
+	e.u64(uint64(m.Step))
+	e.u64(uint64(m.NumRanks))
+	for _, s := range m.Shards {
+		e.str(s.File)
+		e.u64(s.Size)
+		e.u32(s.CRC)
+	}
+	return fmt.Sprintf("%06d-%08x", m.Step, crc32.ChecksumIEEE(e.b))
+}
+
 // EncodeManifest serializes a manifest.
 func EncodeManifest(m *Manifest) []byte {
 	var body encoder
 	body.u64(uint64(m.Step))
 	body.u64(uint64(m.NumRanks))
+	body.u64(uint64(m.Kind))
+	body.i64(m.ParentStep)
+	body.str(m.ID)
+	body.str(m.ParentID)
 	for _, s := range m.Shards {
 		body.str(s.File)
 		body.u64(s.Size)
@@ -69,7 +101,7 @@ func EncodeManifest(m *Manifest) []byte {
 	return e.b
 }
 
-// DecodeManifest parses and CRC-validates a manifest.
+// DecodeManifest parses and CRC-validates a manifest (version 1 or 2).
 func DecodeManifest(b []byte) (*Manifest, error) {
 	if len(b) < len(manifestMagic)+8 || string(b[:len(manifestMagic)]) != manifestMagic {
 		return nil, fmt.Errorf("ckpt: bad manifest magic")
@@ -79,8 +111,8 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	if ver != FormatVersion {
-		return nil, fmt.Errorf("ckpt: manifest version %d, this build reads %d", ver, FormatVersion)
+	if ver < MinFormatVersion || ver > FormatVersion {
+		return nil, fmt.Errorf("ckpt: manifest version %d, this build reads %d..%d", ver, MinFormatVersion, FormatVersion)
 	}
 	body := b[d.off : len(b)-4]
 	wantCRC := binary.LittleEndian.Uint32(b[len(b)-4:])
@@ -88,15 +120,44 @@ func DecodeManifest(b []byte) (*Manifest, error) {
 		return nil, fmt.Errorf("ckpt: manifest CRC mismatch (got %08x want %08x)", got, wantCRC)
 	}
 	d = &decoder{b: body}
-	m := &Manifest{}
+	m := &Manifest{ParentStep: -1}
 	if m.Step, err = d.i64(); err != nil {
 		return nil, err
 	}
 	if m.NumRanks, err = d.i64(); err != nil {
 		return nil, err
 	}
+	if ver >= 2 {
+		k, err := d.u64()
+		if err != nil {
+			return nil, err
+		}
+		if k > uint64(ShardDelta) {
+			return nil, fmt.Errorf("ckpt: manifest kind %d out of range", k)
+		}
+		m.Kind = ShardKind(k)
+		if m.ParentStep, err = d.i64(); err != nil {
+			return nil, err
+		}
+		if m.ID, err = d.str(); err != nil {
+			return nil, err
+		}
+		if m.ParentID, err = d.str(); err != nil {
+			return nil, err
+		}
+	}
 	if m.Step < 0 || m.NumRanks < 1 || m.NumRanks > maxCount {
 		return nil, fmt.Errorf("ckpt: manifest header step=%d ranks=%d out of range", m.Step, m.NumRanks)
+	}
+	if m.Kind == ShardDelta {
+		// The anti-cycle invariant: a delta's parent is strictly older,
+		// so any chain walk strictly decreases and must terminate.
+		if m.ParentStep < 0 || m.ParentStep >= m.Step {
+			return nil, fmt.Errorf("ckpt: delta manifest step %d has invalid parent step %d", m.Step, m.ParentStep)
+		}
+		if m.ParentID == "" {
+			return nil, fmt.Errorf("ckpt: delta manifest step %d has no parent ID", m.Step)
+		}
 	}
 	for d.remaining() > 0 {
 		var s ManifestEntry
@@ -151,9 +212,61 @@ func ReadManifest(path string) (*Manifest, error) {
 	return m, nil
 }
 
-// LatestValid scans dir for the newest checkpoint whose manifest and
-// all named shards validate, skipping damaged or incomplete ones. It
-// returns the manifest path and step, or ok=false when none survives.
+// ChainLink is one checkpoint of a resolved delta chain.
+type ChainLink struct {
+	Path     string
+	Manifest *Manifest
+}
+
+// ResolveChain validates the checkpoint at path and every ancestor down
+// to its full base: each link's manifest and shards must validate, each
+// delta's recorded ParentID must match the parent's content ID, and
+// parent steps must strictly decrease (which makes cycles impossible to
+// express). The result is ordered base first, target last. Any torn,
+// missing, mismatched, or dangling link fails the whole chain.
+func ResolveChain(path string) ([]ChainLink, error) {
+	var rev []ChainLink
+	dir := filepath.Dir(path)
+	for {
+		m, err := ReadManifest(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(rev) > 0 {
+			child := rev[len(rev)-1].Manifest
+			if m.Step != child.ParentStep {
+				return nil, fmt.Errorf("ckpt: chain link %s is step %d, child expected parent step %d",
+					filepath.Base(path), m.Step, child.ParentStep)
+			}
+			if id := ManifestID(m); id != child.ParentID {
+				return nil, fmt.Errorf("ckpt: chain link %s has ID %s, child expected parent %s",
+					filepath.Base(path), id, child.ParentID)
+			}
+			if m.NumRanks != child.NumRanks {
+				return nil, fmt.Errorf("ckpt: chain link %s was written by %d ranks, child by %d",
+					filepath.Base(path), m.NumRanks, child.NumRanks)
+			}
+		}
+		rev = append(rev, ChainLink{Path: path, Manifest: m})
+		if m.Kind != ShardDelta {
+			break
+		}
+		// DecodeManifest guarantees ParentStep < Step for deltas, so this
+		// walk strictly descends and terminates.
+		path = filepath.Join(dir, ManifestFileName(m.ParentStep))
+	}
+	chain := make([]ChainLink, len(rev))
+	for i, l := range rev {
+		chain[len(rev)-1-i] = l
+	}
+	return chain, nil
+}
+
+// LatestValid scans dir for the newest checkpoint whose manifest, all
+// named shards, and (for incremental checkpoints) the entire delta
+// chain down to a full base validate, skipping damaged or incomplete
+// ones. It returns the manifest path and step, or ok=false when none
+// survives.
 func LatestValid(dir string) (path string, step int, ok bool) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -168,11 +281,11 @@ func LatestValid(dir string) (path string, step int, ok bool) {
 	sort.Sort(sort.Reverse(sort.StringSlice(names)))
 	for _, name := range names {
 		p := filepath.Join(dir, name)
-		m, err := ReadManifest(p)
+		chain, err := ResolveChain(p)
 		if err != nil {
 			continue
 		}
-		return p, m.Step, true
+		return p, chain[len(chain)-1].Manifest.Step, true
 	}
 	return "", 0, false
 }

@@ -1,0 +1,154 @@
+package ckpt
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Retention: the checkpoint directory would otherwise grow without
+// bound. The policy keeps the newest KeepLast checkpoints plus every
+// KeepEvery-th step, closes that set over delta-chain parents (a kept
+// delta is worthless without its base), and deletes the rest — manifest
+// first, then any shard no surviving manifest references. Removing the
+// manifest first makes the collection atomic from a reader's view: a
+// crash mid-GC leaves at worst manifest-less shards, which LatestValid
+// already ignores and the next pass sweeps.
+
+// RetentionPolicy selects which durable checkpoints survive a GC pass.
+type RetentionPolicy struct {
+	// KeepLast keeps the newest K checkpoints; 0 disables retention
+	// entirely (everything is kept, GC is a no-op).
+	KeepLast int
+	// KeepEvery additionally keeps checkpoints whose step is a multiple
+	// of N (long-horizon archive points); 0 keeps none beyond KeepLast.
+	KeepEvery int
+}
+
+// Enabled reports whether a GC pass would ever delete anything.
+func (p RetentionPolicy) Enabled() bool { return p.KeepLast > 0 }
+
+// gcManifest is one decoded manifest during a GC pass.
+type gcManifest struct {
+	name string
+	m    *Manifest
+}
+
+// GC applies the retention policy to a checkpoint directory. Manifests
+// that fail to decode are left untouched (conservative: never delete
+// what we cannot understand), and their step's shards are protected by
+// filename so a concurrent writer's in-flight checkpoint is never
+// gutted. Returns the first filesystem error.
+func GC(dir string, p RetentionPolicy) error {
+	if !p.Enabled() {
+		return nil
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	var decoded []gcManifest
+	protected := map[string]bool{} // manifest names kept regardless
+	var shardNames []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		switch filepath.Ext(e.Name()) {
+		case ".manifest":
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				protected[e.Name()] = true
+				continue
+			}
+			m, err := DecodeManifest(data)
+			if err != nil {
+				protected[e.Name()] = true
+				continue
+			}
+			decoded = append(decoded, gcManifest{name: e.Name(), m: m})
+		case ".shard":
+			shardNames = append(shardNames, e.Name())
+		}
+	}
+	sort.Slice(decoded, func(a, b int) bool { return decoded[a].m.Step < decoded[b].m.Step })
+
+	// Select survivors: newest KeepLast, every KeepEvery-th step.
+	byStep := make(map[int]gcManifest, len(decoded))
+	keep := map[string]bool{}
+	for i, gm := range decoded {
+		byStep[gm.m.Step] = gm
+		if i >= len(decoded)-p.KeepLast {
+			keep[gm.name] = true
+		}
+		if p.KeepEvery > 0 && gm.m.Step%p.KeepEvery == 0 {
+			keep[gm.name] = true
+		}
+	}
+	// Close over parent chains: a kept delta needs every ancestor down
+	// to its full base. Steps strictly decrease along a chain, so this
+	// terminates even on adversarial manifests.
+	var closeChain func(gm gcManifest)
+	closeChain = func(gm gcManifest) {
+		for gm.m.Kind == ShardDelta {
+			parent, ok := byStep[gm.m.ParentStep]
+			if !ok || parent.m.Step >= gm.m.Step || keep[parent.name] {
+				return
+			}
+			keep[parent.name] = true
+			gm = parent
+		}
+	}
+	for _, gm := range decoded {
+		if keep[gm.name] {
+			closeChain(gm)
+		}
+	}
+
+	// Phase 1: remove superseded manifests (the durability markers).
+	var firstErr error
+	for _, gm := range decoded {
+		if keep[gm.name] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, gm.name)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("ckpt: gc manifest: %w", err)
+		}
+	}
+	// Phase 2: remove shards no surviving manifest references. Shards
+	// belonging to an undecodable (protected) manifest's step survive by
+	// filename prefix.
+	referenced := map[string]bool{}
+	for _, gm := range decoded {
+		if !keep[gm.name] {
+			continue
+		}
+		for _, s := range gm.m.Shards {
+			referenced[s.File] = true
+		}
+	}
+	protectedSteps := map[string]bool{}
+	for name := range protected {
+		// "ck-%06d.manifest" -> "ck-%06d"
+		protectedSteps[name[:len(name)-len(".manifest")]] = true
+	}
+	for _, name := range shardNames {
+		if referenced[name] {
+			continue
+		}
+		// "ck-%06d.rR.shard" -> "ck-%06d"
+		base := name
+		if i := strings.IndexByte(base, '.'); i >= 0 {
+			base = base[:i]
+		}
+		if protectedSteps[base] {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("ckpt: gc shard: %w", err)
+		}
+	}
+	return firstErr
+}

@@ -14,26 +14,32 @@ import (
 // ("resubmit from the last restart dump") folded into the launcher.
 //
 // attempt receives the manifest path to restore from ("" for a cold
-// start) and must run the job to completion. Errors that are not rank
-// failures propagate immediately; rank failures beyond maxRetries
-// return the last failure wrapped with the retry count.
+// start) and must run the job to completion. The first attempt is
+// always cold (the caller decides whether to pass an explicit restore
+// through other means); every retry re-reads the directory *at launch
+// time* — not a restore point captured when the previous failure was
+// observed — so a checkpoint that became durable in between (the failed
+// attempt's async writer finishing its last manifest, or another agent
+// depositing one) is picked up. Errors that are not rank failures
+// propagate immediately; rank failures beyond maxRetries return the
+// last failure wrapped with the retry count.
 func Supervise(dir string, maxRetries int, attempt func(restore string) error) error {
-	restore := ""
-	for try := 0; ; try++ {
-		err := attempt(restore)
-		if err == nil {
+	var err error
+	for try := 0; try <= maxRetries; try++ {
+		restore := ""
+		if try > 0 {
+			// Consulted immediately before the relaunch, never cached
+			// across failures.
+			if path, _, ok := LatestValid(dir); ok {
+				restore = path
+			}
+		}
+		if err = attempt(restore); err == nil {
 			return nil
 		}
 		if !errors.Is(err, mpi.ErrRankFailed) {
 			return err
 		}
-		if try >= maxRetries {
-			return fmt.Errorf("ckpt: giving up after %d retries: %w", maxRetries, err)
-		}
-		if path, _, ok := LatestValid(dir); ok {
-			restore = path
-		} else {
-			restore = "" // no durable checkpoint yet: cold restart
-		}
 	}
+	return fmt.Errorf("ckpt: giving up after %d retries: %w", maxRetries, err)
 }

@@ -30,6 +30,7 @@ type Writer struct {
 type writeReq struct {
 	path string
 	data []byte
+	fn   func() error
 }
 
 // NewWriter creates an idle writer. o may be nil (no metrics).
@@ -47,6 +48,18 @@ func NewWriter(o *obs.Obs) *Writer {
 // Enqueue schedules one file write. The writer takes ownership of data.
 // The background goroutine starts lazily on first use.
 func (w *Writer) Enqueue(path string, data []byte) {
+	w.enqueue(writeReq{path: path, data: data})
+}
+
+// EnqueueFunc schedules fn on the writer's FIFO: it runs on the
+// background goroutine strictly after every previously enqueued write
+// has landed. The retention GC rides here so a checkpoint's manifest is
+// durable before any collection pass can consider it.
+func (w *Writer) EnqueueFunc(fn func() error) {
+	w.enqueue(writeReq{fn: fn})
+}
+
+func (w *Writer) enqueue(req writeReq) {
 	w.mu.Lock()
 	if w.ch == nil {
 		w.ch = make(chan writeReq, 64)
@@ -56,13 +69,18 @@ func (w *Writer) Enqueue(path string, data []byte) {
 	w.pending++
 	ch := w.ch
 	w.mu.Unlock()
-	ch <- writeReq{path: path, data: data}
+	ch <- req
 }
 
 func (w *Writer) drain(ch chan writeReq, done chan struct{}) {
 	defer close(done)
 	for req := range ch {
-		err := w.writeOne(req)
+		var err error
+		if req.fn != nil {
+			err = req.fn()
+		} else {
+			err = w.writeOne(req)
+		}
 		w.mu.Lock()
 		if err != nil && w.err == nil {
 			w.err = err

@@ -16,10 +16,18 @@ import (
 // snapshots of the complete simulation state and bit-exact restores.
 // Parameters:
 //
-//	every    checkpoint cadence in driver steps (default 0 = off)
-//	dir      checkpoint directory (default "checkpoints")
-//	restore  manifest path or checkpoint directory to resume from
-//	         (a directory means "the latest valid checkpoint in it")
+//	every       checkpoint cadence in driver steps (default 0 = off)
+//	dir         checkpoint directory (default "checkpoints")
+//	restore     manifest path or checkpoint directory to resume from
+//	            (a directory means "the latest valid checkpoint in it")
+//	incremental write delta shards holding only patches whose bytes
+//	            changed since the previous checkpoint (default false)
+//	fullEvery   force a full checkpoint after this many consecutive
+//	            deltas (default 8; bounds restore chain length)
+//	compress    gzip shard section payloads (default false)
+//	keep        retention: keep the newest K checkpoints, GC the rest
+//	            (default 0 = keep everything)
+//	keepEvery   retention: additionally keep every N-th step (default 0)
 //
 // Save path: the driver hands over its phase position (step, time,
 // counters, series); the component snapshots the mesh geometry and
@@ -27,19 +35,53 @@ import (
 // pool, and enqueues shard bytes on a background writer — the next
 // step's compute overlaps the IO. Rank 0 then gathers every rank's
 // shard digest and enqueues the manifest that makes the checkpoint
-// durable (shards without a validating manifest are ignored on load).
+// durable (shards without a validating manifest are ignored on load),
+// followed by the retention GC pass, which therefore only ever runs
+// against fully landed checkpoints.
 //
-// Restore path: each rank reads and CRC-verifies its own shard,
-// validates geometry/driver/rank-count agreement, rebuilds the
-// hierarchy and fields, adopts them into the mesh, and reinstates the
-// virtual clock and comm stats. Field arrays are restored bit-for-bit
-// including ghosts, so no exchange is needed before the first step.
+// Incremental saves: each rank fingerprints every local patch's raw
+// bytes (all registered fields, FNV-1a 64). A patch is dirty when its
+// fingerprint changed since the last checkpoint; a delta shard stores
+// only dirty patches and names its parent checkpoint. The full-vs-delta
+// decision is communication-free and identical on every rank: it reads
+// only the replicated hierarchy (any layout change forces a full) and
+// replicated counters. Restore materializes the chain base-to-target.
+//
+// Restore path: the manifest's whole delta chain is validated first
+// (ckpt.ResolveChain). When the writing and restoring rank counts
+// match, each rank materializes its own shard chain and restores
+// bit-for-bit including ghosts — no exchange is needed before the first
+// step. When they differ (elastic restart), every rank reads all shards
+// of every link, reassembles the global hierarchy and field state, and
+// re-partitions onto the current cohort through the mesh's own regrid
+// policy — so the restored layout, per-cell data included, is exactly
+// what a native run at the new rank count would be using.
 type CheckpointComponent struct {
-	svc     cca.Services
-	every   int
-	dir     string
-	restore string
-	writer  *ckpt.Writer
+	svc         cca.Services
+	every       int
+	fullEvery   int
+	incremental bool
+	compress    bool
+	keep        ckpt.RetentionPolicy
+	dir         string
+	restore     string
+	writer      *ckpt.Writer
+
+	// Incremental-save state. lastStep/lastHier are replicated across
+	// ranks (driven by replicated inputs); lastID is only maintained
+	// where manifests are written (rank 0).
+	lastStep        int
+	lastID          string
+	lastHier        uint64
+	deltasSinceFull int
+	prints          map[patchKey]uint64
+}
+
+// patchKey identifies a patch for dirty tracking. Patch IDs are reused
+// across regrids, so the geometry is part of the identity.
+type patchKey struct {
+	id, level int
+	box       amr.Box
 }
 
 // checkpointMesh is the mesh surface the component needs: the standard
@@ -48,6 +90,7 @@ type checkpointMesh interface {
 	MeshPort
 	FieldNames() []string
 	AdoptAll(map[string]*field.DataObject) error
+	RegridPolicy() (amr.LoadBalancer, amr.Workload)
 }
 
 // SetServices implements cca.Component.
@@ -57,7 +100,15 @@ func (cc *CheckpointComponent) SetServices(svc cca.Services) error {
 	cc.every = p.GetInt("every", 0)
 	cc.dir = p.GetString("dir", "checkpoints")
 	cc.restore = p.GetString("restore", "")
+	cc.incremental = p.GetBool("incremental", false)
+	cc.fullEvery = p.GetInt("fullEvery", 8)
+	if cc.fullEvery < 1 {
+		cc.fullEvery = 1
+	}
+	cc.compress = p.GetBool("compress", false)
+	cc.keep = ckpt.RetentionPolicy{KeepLast: p.GetInt("keep", 0), KeepEvery: p.GetInt("keepEvery", 0)}
 	cc.writer = ckpt.NewWriter(svc.Observability())
+	cc.lastStep = -1
 	if err := svc.RegisterUsesPort("mesh", MeshPortType); err != nil {
 		return err
 	}
@@ -86,6 +137,50 @@ func (cc *CheckpointComponent) rankInfo() (rank, size int) {
 	return 0, 1
 }
 
+// hierarchyKey hashes the replicated patch layout (IDs, levels, boxes,
+// owners). Any difference from the previous checkpoint's key forces a
+// full save: delta shards only make sense against an identical layout.
+func hierarchyKey(h *amr.Hierarchy) uint64 {
+	const prime = 1099511628211
+	k := field.FingerprintSeed
+	mix := func(v int) {
+		u := uint64(v)
+		for s := uint(0); s < 64; s += 8 {
+			k ^= (u >> s) & 0xff
+			k *= prime
+		}
+	}
+	s := h.Snapshot()
+	mix(len(s.Patches))
+	for _, p := range s.Patches {
+		mix(p.ID)
+		mix(p.Level)
+		mix(p.Box.Lo[0])
+		mix(p.Box.Lo[1])
+		mix(p.Box.Hi[0])
+		mix(p.Box.Hi[1])
+		mix(p.Owner)
+	}
+	return k
+}
+
+// fingerprints hashes every local patch's raw bytes across all
+// registered fields (in sorted field order, chained per patch).
+func (cc *CheckpointComponent) fingerprints(mesh checkpointMesh) map[patchKey]uint64 {
+	prints := map[patchKey]uint64{}
+	for _, name := range mesh.FieldNames() {
+		mesh.Field(name).ForEachLocal(func(pd *field.PatchData) {
+			k := patchKey{id: pd.Patch.ID, level: pd.Patch.Level, box: pd.Patch.Box}
+			h, ok := prints[k]
+			if !ok {
+				h = field.FingerprintSeed
+			}
+			prints[k] = pd.Fingerprint(h)
+		})
+	}
+	return prints
+}
+
 // SaveIfDue implements CheckpointPort. meta.Step is the 0-based step
 // just completed; the checkpoint captures the state a continuation
 // would compute step meta.Step+1 from.
@@ -111,11 +206,29 @@ func (cc *CheckpointComponent) save(meta ckpt.Meta) error {
 		meta.VirtualTime = c.VirtualTime()
 		meta.Comm = s
 	}
+
+	// Full or delta? The inputs are replicated, so every rank decides
+	// identically with no communication.
+	hk := hierarchyKey(mesh.Hierarchy())
+	var prints map[patchKey]uint64
+	if cc.incremental {
+		prints = cc.fingerprints(mesh)
+	}
+	kind := ckpt.ShardFull
+	if cc.incremental && cc.lastStep >= 0 && hk == cc.lastHier && cc.deltasSinceFull < cc.fullEvery {
+		kind = ckpt.ShardDelta
+	}
+
 	shard := &ckpt.Shard{
-		Rank:     rank,
-		NumRanks: size,
-		Snapshot: mesh.Hierarchy().Snapshot(),
-		Meta:     meta,
+		Rank:       rank,
+		NumRanks:   size,
+		Kind:       kind,
+		ParentStep: -1,
+		Snapshot:   mesh.Hierarchy().Snapshot(),
+		Meta:       meta,
+	}
+	if kind == ckpt.ShardDelta {
+		shard.ParentStep = cc.lastStep
 	}
 	for _, name := range mesh.FieldNames() {
 		d := mesh.Field(name)
@@ -126,44 +239,157 @@ func (cc *CheckpointComponent) save(meta ckpt.Meta) error {
 			Names: append([]string(nil), d.Names...),
 		}
 		d.ForEachLocal(func(pd *field.PatchData) {
-			// RawData aliases live storage: EncodeShard below runs
+			if kind == ckpt.ShardDelta {
+				k := patchKey{id: pd.Patch.ID, level: pd.Patch.Level, box: pd.Patch.Box}
+				if prev, ok := cc.prints[k]; ok && prev == prints[k] {
+					return // clean: the parent chain already holds these bytes
+				}
+			}
+			// RawData aliases live storage: EncodeShardOpts below runs
 			// synchronously on the driver goroutine, before the next
 			// step mutates the field, so the copy is consistent.
 			fs.Patches = append(fs.Patches, ckpt.PatchBlob{ID: pd.Patch.ID, Data: pd.RawData()})
 		})
 		shard.Fields = append(shard.Fields, fs)
 	}
-	data := ckpt.EncodeShard(shard, optionalPool(cc.svc))
+	data := ckpt.EncodeShardOpts(shard, optionalPool(cc.svc), cc.compress)
 	shardName := ckpt.ShardFileName(meta.Step, rank)
 	cc.writer.Enqueue(filepath.Join(cc.dir, shardName), data)
 
 	// Durability marker: rank 0 collects every shard's digest into the
 	// manifest. The gather is synchronous (cheap: 2 words per rank); the
 	// file writes stay asynchronous.
+	newManifest := func(entries []ckpt.ManifestEntry) *ckpt.Manifest {
+		m := &ckpt.Manifest{Step: meta.Step, NumRanks: size, Kind: kind, ParentStep: -1, Shards: entries}
+		if kind == ckpt.ShardDelta {
+			m.ParentStep = cc.lastStep
+			m.ParentID = cc.lastID
+		}
+		m.ID = ckpt.ManifestID(m)
+		return m
+	}
 	sizeBytes, crc := ckpt.Digest(data)
+	var m *ckpt.Manifest
 	if c := cc.comm(); c != nil && size > 1 {
 		digests := c.Gather(0, []float64{float64(sizeBytes), float64(crc)})
 		if rank == 0 {
-			m := &ckpt.Manifest{Step: meta.Step, NumRanks: size}
+			var entries []ckpt.ManifestEntry
 			for r, dg := range digests {
-				m.Shards = append(m.Shards, ckpt.ManifestEntry{
+				entries = append(entries, ckpt.ManifestEntry{
 					File: ckpt.ShardFileName(meta.Step, r),
 					Size: uint64(dg[0]),
 					CRC:  uint32(dg[1]),
 				})
 			}
-			cc.writer.Enqueue(filepath.Join(cc.dir, ckpt.ManifestFileName(meta.Step)), ckpt.EncodeManifest(m))
+			m = newManifest(entries)
 		}
 	} else {
-		m := &ckpt.Manifest{Step: meta.Step, NumRanks: 1,
-			Shards: []ckpt.ManifestEntry{{File: shardName, Size: sizeBytes, CRC: crc}}}
+		m = newManifest([]ckpt.ManifestEntry{{File: shardName, Size: sizeBytes, CRC: crc}})
+	}
+	if m != nil {
 		cc.writer.Enqueue(filepath.Join(cc.dir, ckpt.ManifestFileName(meta.Step)), ckpt.EncodeManifest(m))
+		cc.lastID = m.ID
+		// Retention rides the writer FIFO: by the time GC runs, this
+		// step's shards and manifest are all durable, so the pass only
+		// ever judges complete checkpoints.
+		if cc.keep.Enabled() {
+			dir, pol := cc.dir, cc.keep
+			cc.writer.EnqueueFunc(func() error { return ckpt.GC(dir, pol) })
+		}
+	}
+
+	cc.lastStep = meta.Step
+	cc.lastHier = hk
+	if kind == ckpt.ShardFull {
+		cc.deltasSinceFull = 0
+	} else {
+		cc.deltasSinceFull++
+	}
+	if cc.incremental {
+		cc.prints = prints
 	}
 	return nil
 }
 
 // Flush implements CheckpointPort.
 func (cc *CheckpointComponent) Flush() error { return cc.writer.Flush() }
+
+// fieldState is one field's fully materialized global (or per-rank)
+// state after overlaying a delta chain onto its base.
+type fieldState struct {
+	spec  ckpt.FieldShard // Name/NComp/Ghost/Names; Patches unused
+	blobs map[int][]float64
+}
+
+// loadChainState reads the given ranks' shards of every chain link
+// (base first) and materializes field state: base blobs overlaid with
+// each delta's dirty patches. Returns the field states in base field
+// order, the target-link Meta per requested rank, and the target-link
+// hierarchy snapshot.
+func loadChainState(dir string, chain []ckpt.ChainLink, ranks []int) ([]*fieldState, []ckpt.Meta, amr.Snapshot, error) {
+	var (
+		states []*fieldState
+		byName = map[string]*fieldState{}
+		metas  = make([]ckpt.Meta, len(ranks))
+		snap   amr.Snapshot
+	)
+	for li, link := range chain {
+		m := link.Manifest
+		for ri, r := range ranks {
+			data, err := os.ReadFile(filepath.Join(dir, m.Shards[r].File))
+			if err != nil {
+				return nil, nil, snap, err
+			}
+			shard, err := ckpt.DecodeShard(data)
+			if err != nil {
+				return nil, nil, snap, fmt.Errorf("%s: %w", m.Shards[r].File, err)
+			}
+			if shard.Rank != r || shard.NumRanks != m.NumRanks {
+				return nil, nil, snap, fmt.Errorf("checkpoint: shard %s is rank %d/%d, expected %d/%d",
+					m.Shards[r].File, shard.Rank, shard.NumRanks, r, m.NumRanks)
+			}
+			if shard.Kind != m.Kind || shard.ParentStep != m.ParentStep {
+				return nil, nil, snap, fmt.Errorf("checkpoint: shard %s kind %v/parent %d disagrees with manifest %v/%d",
+					m.Shards[r].File, shard.Kind, shard.ParentStep, m.Kind, m.ParentStep)
+			}
+			if li == len(chain)-1 {
+				metas[ri] = shard.Meta
+				if ri == 0 {
+					snap = shard.Snapshot
+				}
+			}
+			for i := range shard.Fields {
+				fs := &shard.Fields[i]
+				st := byName[fs.Name]
+				if st == nil {
+					if li > 0 {
+						return nil, nil, snap, fmt.Errorf("checkpoint: delta step %d introduces field %q absent from its base", m.Step, fs.Name)
+					}
+					st = &fieldState{
+						spec: ckpt.FieldShard{Name: fs.Name, NComp: fs.NComp, Ghost: fs.Ghost,
+							Names: append([]string(nil), fs.Names...)},
+						blobs: map[int][]float64{},
+					}
+					byName[fs.Name] = st
+					states = append(states, st)
+				}
+				if fs.NComp != st.spec.NComp || fs.Ghost != st.spec.Ghost {
+					return nil, nil, snap, fmt.Errorf("checkpoint: field %q changes shape along the chain", fs.Name)
+				}
+				for _, p := range fs.Patches {
+					if li > 0 {
+						if _, ok := st.blobs[p.ID]; !ok {
+							return nil, nil, snap, fmt.Errorf("checkpoint: delta step %d patch %d of field %q has no base data",
+								m.Step, p.ID, fs.Name)
+						}
+					}
+					st.blobs[p.ID] = p.Data
+				}
+			}
+		}
+	}
+	return states, metas, snap, nil
+}
 
 // Restore implements CheckpointPort. Returns (nil, nil) on a cold start.
 func (cc *CheckpointComponent) Restore(driver string) (*ckpt.Meta, error) {
@@ -182,80 +408,228 @@ func (cc *CheckpointComponent) Restore(driver string) (*ckpt.Meta, error) {
 		}
 		manifestPath = p
 	}
-	m, err := ckpt.ReadManifest(manifestPath)
+	chain, err := ckpt.ResolveChain(manifestPath)
 	if err != nil {
 		return nil, err
 	}
+	dir := filepath.Dir(manifestPath)
+	pOld := chain[len(chain)-1].Manifest.NumRanks
 	rank, size := cc.rankInfo()
-	if m.NumRanks != size {
-		return nil, fmt.Errorf("checkpoint: written by %d ranks, restoring on %d", m.NumRanks, size)
-	}
-	data, err := os.ReadFile(filepath.Join(filepath.Dir(manifestPath), m.Shards[rank].File))
-	if err != nil {
-		return nil, err
-	}
-	shard, err := ckpt.DecodeShard(data)
-	if err != nil {
-		return nil, err
-	}
-	if shard.Rank != rank || shard.NumRanks != size {
-		return nil, fmt.Errorf("checkpoint: shard is rank %d/%d, expected %d/%d",
-			shard.Rank, shard.NumRanks, rank, size)
-	}
-	if shard.Meta.Driver != driver {
-		return nil, fmt.Errorf("checkpoint: written by driver %q, restoring into %q", shard.Meta.Driver, driver)
-	}
 	mesh, err := cc.mesh()
 	if err != nil {
 		return nil, err
 	}
-	h, err := amr.FromSnapshot(shard.Snapshot)
+	if pOld == size {
+		return cc.restoreExact(mesh, dir, chain, driver, rank, size)
+	}
+	return cc.restoreElastic(mesh, dir, chain, driver, rank, size, pOld)
+}
+
+// restoreExact is the matching-rank-count path: each rank materializes
+// its own shard chain and restores its exact saved state — hierarchy,
+// per-rank meta, and every local array bit-for-bit including ghosts.
+func (cc *CheckpointComponent) restoreExact(mesh checkpointMesh, dir string, chain []ckpt.ChainLink, driver string, rank, size int) (*ckpt.Meta, error) {
+	states, metas, snap, err := loadChainState(dir, chain, []int{rank})
+	if err != nil {
+		return nil, err
+	}
+	meta := metas[0]
+	if meta.Driver != driver {
+		return nil, fmt.Errorf("checkpoint: written by driver %q, restoring into %q", meta.Driver, driver)
+	}
+	h, err := amr.FromSnapshot(snap)
 	if err != nil {
 		return nil, err
 	}
 	if cur := mesh.Hierarchy(); cur != nil && !cur.Domain.Equal(h.Domain) {
 		return nil, fmt.Errorf("checkpoint: domain %v does not match assembly domain %v", h.Domain, cur.Domain)
 	}
-	fields := make(map[string]*field.DataObject, len(shard.Fields))
-	for i := range shard.Fields {
-		fs := &shard.Fields[i]
-		d := field.New(fs.Name, h, fs.NComp, fs.Ghost, cc.comm())
-		d.Names = append([]string(nil), fs.Names...)
+	fields := make(map[string]*field.DataObject, len(states))
+	for _, st := range states {
+		d := field.New(st.spec.Name, h, st.spec.NComp, st.spec.Ghost, cc.comm())
+		d.Names = append([]string(nil), st.spec.Names...)
 		d.SetObs(cc.svc.Observability())
-		blobs := make(map[int][]float64, len(fs.Patches))
-		for _, p := range fs.Patches {
-			blobs[p.ID] = p.Data
-		}
+		remaining := len(st.blobs)
 		restoreErr := error(nil)
 		d.ForEachLocal(func(pd *field.PatchData) {
-			blob, ok := blobs[pd.Patch.ID]
+			blob, ok := st.blobs[pd.Patch.ID]
 			if !ok {
 				if restoreErr == nil {
-					restoreErr = fmt.Errorf("checkpoint: field %q missing patch %d", fs.Name, pd.Patch.ID)
+					restoreErr = fmt.Errorf("checkpoint: field %q missing patch %d", st.spec.Name, pd.Patch.ID)
 				}
 				return
 			}
 			if err := pd.SetRawData(blob); err != nil && restoreErr == nil {
 				restoreErr = err
 			}
-			delete(blobs, pd.Patch.ID)
+			remaining--
 		})
 		if restoreErr != nil {
 			return nil, restoreErr
 		}
-		if len(blobs) != 0 {
+		if remaining != 0 {
 			return nil, fmt.Errorf("checkpoint: field %q has %d shard patches not owned by rank %d",
-				fs.Name, len(blobs), rank)
+				st.spec.Name, remaining, rank)
 		}
-		fields[fs.Name] = d
+		fields[st.spec.Name] = d
 	}
 	if err := mesh.AdoptAll(fields); err != nil {
 		return nil, err
 	}
 	if c := cc.comm(); c != nil {
-		c.AdvanceVirtualTime(shard.Meta.VirtualTime)
-		c.RestoreStats(shard.Meta.Comm)
+		c.AdvanceVirtualTime(meta.VirtualTime)
+		c.RestoreStats(meta.Comm)
 	}
-	meta := shard.Meta
+	return &meta, nil
+}
+
+// restoreElastic is the rank-count-changing path. Every rank reads all
+// P_old shards of the chain, reassembles the global state, and installs
+// it onto a hierarchy re-partitioned for the current cohort:
+//
+//   - refined levels keep their (P-invariant) boxes, so each new local
+//     patch adopts the matching saved array verbatim;
+//   - level 0 is re-decomposed, so saved level-0 arrays are stitched by
+//     region — ghost-included overlaps first for plausible ghost fill,
+//     then saved interiors, which are authoritative, on top. Every
+//     interior cell comes from a saved interior cell; a coverage check
+//     proves none was invented.
+//
+// Ghost cells that end up merely plausible cannot leak into the run:
+// every consumer refreshes ghosts before reading them, so continuation
+// stays bit-for-bit with an uninterrupted run at the new rank count.
+func (cc *CheckpointComponent) restoreElastic(mesh checkpointMesh, dir string, chain []ckpt.ChainLink, driver string, rank, size, pOld int) (*ckpt.Meta, error) {
+	ranks := make([]int, pOld)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	states, metas, snap, err := loadChainState(dir, chain, ranks)
+	if err != nil {
+		return nil, err
+	}
+	if metas[0].Driver != driver {
+		return nil, fmt.Errorf("checkpoint: written by driver %q, restoring into %q", metas[0].Driver, driver)
+	}
+	bal, work := mesh.RegridPolicy()
+	h, err := amr.Repartition(snap, size, bal, work)
+	if err != nil {
+		return nil, err
+	}
+	if cur := mesh.Hierarchy(); cur != nil && !cur.Domain.Equal(h.Domain) {
+		return nil, fmt.Errorf("checkpoint: domain %v does not match assembly domain %v", h.Domain, cur.Domain)
+	}
+
+	type levelBox struct {
+		level int
+		box   amr.Box
+	}
+	byGeom := make(map[levelBox]int, len(snap.Patches)) // saved geometry -> patch ID
+	var level0 []amr.PatchSnapshot                      // saved level-0 patches, stored order
+	for _, p := range snap.Patches {
+		byGeom[levelBox{p.Level, p.Box}] = p.ID
+		if p.Level == 0 {
+			level0 = append(level0, p)
+		}
+	}
+
+	fields := make(map[string]*field.DataObject, len(states))
+	for _, st := range states {
+		d := field.New(st.spec.Name, h, st.spec.NComp, st.spec.Ghost, cc.comm())
+		d.Names = append([]string(nil), st.spec.Names...)
+		d.SetObs(cc.svc.Observability())
+		// Saved level-0 arrays wrapped as patch data for region copies.
+		var srcs []*field.PatchData
+		for _, p := range level0 {
+			blob, ok := st.blobs[p.ID]
+			if !ok {
+				return nil, fmt.Errorf("checkpoint: field %q has no data for saved patch %d", st.spec.Name, p.ID)
+			}
+			src := field.NewPatchData(&amr.Patch{ID: p.ID, Level: 0, Box: p.Box}, st.spec.NComp, st.spec.Ghost)
+			if err := src.SetRawData(blob); err != nil {
+				return nil, err
+			}
+			srcs = append(srcs, src)
+		}
+		restoreErr := error(nil)
+		d.ForEachLocal(func(pd *field.PatchData) {
+			if restoreErr != nil {
+				return
+			}
+			if pd.Patch.Level > 0 {
+				id, ok := byGeom[levelBox{pd.Patch.Level, pd.Patch.Box}]
+				if !ok {
+					restoreErr = fmt.Errorf("checkpoint: field %q has no saved patch at level %d box %v",
+						st.spec.Name, pd.Patch.Level, pd.Patch.Box)
+					return
+				}
+				blob, ok := st.blobs[id]
+				if !ok {
+					restoreErr = fmt.Errorf("checkpoint: field %q has no data for saved patch %d", st.spec.Name, id)
+					return
+				}
+				if err := pd.SetRawData(blob); err != nil {
+					restoreErr = err
+				}
+				return
+			}
+			// Level 0: stitch by region. Pass 1 copies ghost-included
+			// overlaps (fills out-of-domain ghost strips from saved BC
+			// fills); pass 2 lays saved interiors on top.
+			for _, src := range srcs {
+				pd.CopyRegion(src, src.Patch.Box.Grow(st.spec.Ghost))
+			}
+			remaining := []amr.Box{pd.Patch.Box}
+			for _, src := range srcs {
+				pd.CopyRegion(src, src.Patch.Box)
+				var next []amr.Box
+				for _, r := range remaining {
+					next = append(next, r.Subtract(src.Patch.Box)...)
+				}
+				remaining = next
+			}
+			if len(remaining) != 0 {
+				restoreErr = fmt.Errorf("checkpoint: field %q interior %v not covered by saved level 0 (missing %v)",
+					st.spec.Name, pd.Patch.Box, remaining)
+			}
+		})
+		if restoreErr != nil {
+			return nil, restoreErr
+		}
+		fields[st.spec.Name] = d
+	}
+	if err := mesh.AdoptAll(fields); err != nil {
+		return nil, err
+	}
+
+	// Meta merge: the phase position (step, time, series) is replicated
+	// state — take it from shard 0. Per-rank counters cannot be split
+	// across a different cohort, so their totals land on rank 0. Comm
+	// stats follow each surviving rank; ranks beyond P_old start clean.
+	meta := metas[0]
+	vt := 0.0
+	counters := map[string]float64{}
+	for _, m := range metas {
+		if m.VirtualTime > vt {
+			vt = m.VirtualTime
+		}
+		for k, v := range m.Counters {
+			counters[k] += v
+		}
+	}
+	meta.VirtualTime = vt
+	if rank == 0 {
+		meta.Counters = counters
+	} else {
+		meta.Counters = map[string]float64{}
+	}
+	if rank < pOld {
+		meta.Comm = metas[rank].Comm
+	} else {
+		meta.Comm = mpi.CommStats{}
+	}
+	if c := cc.comm(); c != nil {
+		c.AdvanceVirtualTime(meta.VirtualTime)
+		c.RestoreStats(meta.Comm)
+	}
 	return &meta, nil
 }

@@ -132,6 +132,22 @@ func (gc *GrACEComponent) Regrid(flags []*amr.FlagField, opt amr.RegridOptions) 
 	gc.h = newH
 }
 
+// RegridPolicy reports the load balancer and workload estimator the
+// next Regrid would use (the wired balancer port when present, else the
+// hierarchy's own). Elastic restore repartitions a checkpointed
+// hierarchy through this same policy so the restored layout is exactly
+// the one a native run at the new rank count would be using.
+func (gc *GrACEComponent) RegridPolicy() (amr.LoadBalancer, amr.Workload) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	bal := gc.h.Balancer
+	if p, err := gc.svc.GetPort("balancer"); err == nil {
+		bal = p.(BalancerPort)
+		gc.svc.ReleasePort("balancer")
+	}
+	return bal, gc.regridOpt.Workload
+}
+
 // Spacing implements MeshPort.
 func (gc *GrACEComponent) Spacing(level int) (float64, float64) {
 	gc.mu.Lock()

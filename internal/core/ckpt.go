@@ -19,11 +19,38 @@ import (
 // checkpoint directory, restore a manifest path or directory to resume
 // from ("" for a cold start).
 func WireCheckpoint(f *cca.Framework, dir, restore string, every int) error {
+	return WireCheckpointOpts(f, CheckpointOptions{Dir: dir, Restore: restore, Every: every})
+}
+
+// CheckpointOptions configures WireCheckpointOpts; the zero value of
+// every field means "component default".
+type CheckpointOptions struct {
+	Every       int    // save cadence in driver steps (0 = off)
+	Dir         string // checkpoint directory
+	Restore     string // manifest path or directory ("" = cold start)
+	Incremental bool   // delta shards for unchanged patches
+	FullEvery   int    // force a full save after this many deltas
+	Compress    bool   // gzip shard section payloads
+	Keep        int    // retention: keep newest K (0 = keep all)
+	KeepEvery   int    // retention: also keep every N-th step
+}
+
+// WireCheckpointOpts is WireCheckpoint with the full option surface
+// (incremental deltas, compression, retention).
+func WireCheckpointOpts(f *cca.Framework, o CheckpointOptions) error {
 	const inst = "ckpt"
+	if o.FullEvery == 0 {
+		o.FullEvery = 8
+	}
 	for _, kv := range [][2]string{
-		{"every", strconv.Itoa(every)},
-		{"dir", dir},
-		{"restore", restore},
+		{"every", strconv.Itoa(o.Every)},
+		{"dir", o.Dir},
+		{"restore", o.Restore},
+		{"incremental", strconv.FormatBool(o.Incremental)},
+		{"fullEvery", strconv.Itoa(o.FullEvery)},
+		{"compress", strconv.FormatBool(o.Compress)},
+		{"keep", strconv.Itoa(o.Keep)},
+		{"keepEvery", strconv.Itoa(o.KeepEvery)},
 	} {
 		if err := f.SetParameter(inst, kv[0], kv[1]); err != nil {
 			return err

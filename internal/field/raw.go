@@ -1,6 +1,9 @@
 package field
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Raw storage access for the checkpoint subsystem: a checkpoint saves a
 // patch's complete backing array (interior plus ghosts, all components)
@@ -23,4 +26,28 @@ func (pd *PatchData) SetRawData(data []float64) error {
 	}
 	copy(pd.data, data)
 	return nil
+}
+
+// FingerprintSeed is the FNV-1a 64 offset basis: pass it as the initial
+// state to the first Fingerprint in a chain.
+const FingerprintSeed uint64 = 14695981039346656037
+
+const fingerprintPrime uint64 = 1099511628211
+
+// Fingerprint folds the patch's raw float bits (interior plus ghosts,
+// all components — exactly the bytes a checkpoint would store) into a
+// running FNV-1a 64 state and returns the new state. Incremental
+// checkpointing uses it to detect patches whose stored bytes would be
+// unchanged since the last durable checkpoint: bit-identical data —
+// including NaN payloads and signed zeros — hashes identically, and any
+// single-bit flip changes the result.
+func (pd *PatchData) Fingerprint(h uint64) uint64 {
+	for _, v := range pd.data {
+		bits := math.Float64bits(v)
+		for s := uint(0); s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= fingerprintPrime
+		}
+	}
+	return h
 }

@@ -2,7 +2,9 @@
 # Tier-1 gate: formatting, vet, build, full test suite, then
 # race-detector runs on the packages with intra-rank parallelism (the
 # exec worker pool and everything that fans patch loops out over it)
-# plus the checkpoint subsystem. Run from the repo root:
+# plus the checkpoint subsystem — internal/core under -race includes
+# the cross-P elastic-restore matrix (all {1,2,4}->{1,2,4} pairs) and
+# the delta-chain crash torture tests. Run from the repo root:
 #
 #   sh scripts/check.sh
 set -e
