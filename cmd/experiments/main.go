@@ -12,13 +12,15 @@
 //	experiments -exp comm           # halo-exchange study (blocking vs async)
 //	experiments -exp obs            # observability: interceptor overhead + trace shape
 //	experiments -exp ckpt           # checkpoint/restart + fault-recovery study
+//	experiments -exp chem           # generated-kernel vs interpreted chemistry study
 //	experiments -exp all            # everything
 //
 // -quick shrinks the parameter sweeps for a fast sanity pass. -commjson
 // writes the comm study to a JSON file (the BENCH_comm.json artifact);
 // -obsjson does the same for the observability study (BENCH_obs.json),
-// -ckptjson for the checkpoint study (BENCH_ckpt.json), and -obstrace
-// writes the instrumented run's Perfetto trace.
+// -ckptjson for the checkpoint study (BENCH_ckpt.json), -chemjson for
+// the chemistry-kernel study (BENCH_chem.json), and -obstrace writes
+// the instrumented run's Perfetto trace.
 package main
 
 import (
@@ -35,13 +37,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, ckpt, all")
+	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, ckpt, chem, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	dump := flag.String("dump", "", "directory for CSV/PGM field dumps (fig3, fig4, fig6)")
 	commJSON := flag.String("commjson", "", "path for the comm study JSON artifact (exp comm)")
 	obsJSON := flag.String("obsjson", "", "path for the observability JSON artifact (exp obs)")
 	obsTrace := flag.String("obstrace", "", "path for the instrumented run's Perfetto trace (exp obs)")
 	ckptJSON := flag.String("ckptjson", "", "path for the checkpoint study JSON artifact (exp ckpt)")
+	chemJSON := flag.String("chemjson", "", "path for the chemistry-kernel study JSON artifact (exp chem)")
 	flag.Parse()
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
@@ -275,6 +278,25 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *ckptJSON)
+		}
+		return nil
+	})
+
+	run("chem", func() error {
+		rep, err := bench.BuildChemReport(*quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintChemReport(os.Stdout, rep)
+		if *chemJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*chemJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *chemJSON)
 		}
 		return nil
 	})

@@ -148,8 +148,13 @@ func (ci *componentCellIntegrator) run(nCells int, tEnd, T0, P0 float64) (float6
 
 // directCellIntegrator is the paper's "C-code": the same algorithm with
 // the integrator used as a plain library — concrete calls, no ports.
+// It must stay algorithm-identical to the componentized side, so it
+// uses the same engine the components resolve: the generated kernel
+// with its analytic Jacobian when one is registered, the interpreted
+// tables with finite differences otherwise. Only the dispatch differs.
 type directCellIntegrator struct {
 	mech   *chem.Mechanism
+	kern   chem.Kernel
 	ws     *chem.SourceWorkspace
 	solver *cvode.Solver
 	nfe    int
@@ -159,6 +164,7 @@ func newDirectCellIntegrator() *directCellIntegrator {
 	di := &directCellIntegrator{
 		mech: chem.H2AirLite(),
 	}
+	di.kern = chem.KernelFor(di.mech.Name)
 	di.ws = chem.NewSourceWorkspace(di.mech)
 	n := di.mech.NumSpecies()
 	rhs := func(_ float64, y, ydot []float64) {
@@ -170,10 +176,18 @@ func newDirectCellIntegrator() *directCellIntegrator {
 		Y := y[1 : 1+n]
 		P := y[1+n]
 		rho := di.mech.Density(P, T, Y)
-		ydot[0] = di.mech.ConstVolumeSource(T, rho, Y, ydot[1:1+n], di.ws)
+		if di.kern != nil {
+			ydot[0] = di.kern.ConstVolumeSource(T, rho, Y, ydot[1:1+n])
+		} else {
+			ydot[0] = di.mech.ConstVolumeSource(T, rho, Y, ydot[1:1+n], di.ws)
+		}
 		ydot[1+n] = di.mech.DPDt(rho, T, ydot[0], Y, ydot[1:1+n])
 	}
-	di.solver = cvode.New(n+2, rhs, cvode.Options{RelTol: 1e-6, AbsTol: 1e-10})
+	opts := cvode.Options{RelTol: 1e-6, AbsTol: 1e-10}
+	if di.kern != nil {
+		opts.Jac = chem.RigidVesselJac(di.kern, di.mech)
+	}
+	di.solver = cvode.New(n+2, rhs, opts)
 	return di
 }
 

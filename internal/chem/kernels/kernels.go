@@ -1,0 +1,13 @@
+// Package kernels holds the chemgen-generated chemistry kernels: one
+// source file per mechanism in chem.AllMechanisms, each a fully
+// unrolled, allocation-free implementation of chem.Kernel with analytic
+// Jacobians. Importing the package (usually blank, for the init-time
+// chem.RegisterKernel calls) is what switches components from the
+// interpreted Reaction-table path to generated code.
+//
+// Generated files are committed; scripts/check.sh regenerates and
+// fails on any diff, so the emitted code can never drift from the
+// mechanism tables.
+package kernels
+
+//go:generate go run ccahydro/internal/chem/chemgen -out .

@@ -1,0 +1,329 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ccahydro/internal/chem"
+)
+
+// randState draws a randomized thermochemical state: temperatures
+// across both NASA-7 fit ranges, pressures around an atmosphere, and
+// mass fractions spanning many orders of magnitude (cubing a uniform
+// deviate makes trace species, the hard case for rate derivatives).
+func randState(rng *rand.Rand, m *chem.Mechanism) (T, P, rho float64, Y []float64) {
+	T = 300 + 2700*rng.Float64()
+	P = chem.PAtm * (0.2 + 5*rng.Float64())
+	Y = make([]float64, m.NumSpecies())
+	for i := range Y {
+		u := rng.Float64()
+		Y[i] = u * u * u
+	}
+	chem.NormalizeY(Y)
+	rho = m.Density(P, T, Y)
+	return
+}
+
+// agree checks |a-b| <= rtol*(|a|+|b|) + abs.
+func agree(a, b, rtol, abs float64) bool {
+	return math.Abs(a-b) <= rtol*(math.Abs(a)+math.Abs(b))+abs
+}
+
+func maxAbs(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// TestKernelsRegistered requires a generated kernel for every mechanism
+// the registry knows — the go:generate output must stay in lockstep
+// with chem.AllMechanisms.
+func TestKernelsRegistered(t *testing.T) {
+	for _, m := range chem.AllMechanisms() {
+		k := chem.KernelFor(m.Name)
+		if k == nil {
+			t.Fatalf("no generated kernel registered for %q (run go generate ./internal/chem/...)", m.Name)
+		}
+		if k.NumSpecies() != m.NumSpecies() {
+			t.Fatalf("%s: kernel species %d != mechanism %d", m.Name, k.NumSpecies(), m.NumSpecies())
+		}
+	}
+}
+
+// TestKernelMatchesInterpreted drives generated kernels and the
+// interpreted Mechanism over randomized states and requires agreement
+// to rounding accuracy on production rates and both source closures.
+func TestKernelMatchesInterpreted(t *testing.T) {
+	for _, m := range chem.AllMechanisms() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			k := chem.KernelFor(m.Name)
+			if k == nil {
+				t.Fatalf("no kernel for %q", m.Name)
+			}
+			rng := rand.New(rand.NewSource(42))
+			n := m.NumSpecies()
+			ws := chem.NewSourceWorkspace(m)
+			conc := make([]float64, n)
+			kconc := make([]float64, n)
+			wdot := make([]float64, n)
+			kwdot := make([]float64, n)
+			dY := make([]float64, n)
+			kdY := make([]float64, n)
+			for trial := 0; trial < 60; trial++ {
+				T, P, rho, Y := randState(rng, m)
+
+				m.Concentrations(rho, Y, conc)
+				k.Concentrations(rho, Y, kconc)
+				for i := range conc {
+					if !agree(conc[i], kconc[i], 1e-12, 0) {
+						t.Fatalf("trial %d: conc[%d] %g != %g", trial, i, kconc[i], conc[i])
+					}
+				}
+
+				m.ProductionRates(T, conc, wdot)
+				k.ProductionRates(T, conc, kwdot)
+				scale := maxAbs(wdot)
+				for i := range wdot {
+					if !agree(wdot[i], kwdot[i], 1e-8, 1e-10*scale) {
+						t.Fatalf("trial %d (T=%g): wdot[%d] kernel %g interpreted %g", trial, T, i, kwdot[i], wdot[i])
+					}
+				}
+
+				dT := m.ConstPressureSource(T, P, Y, dY, ws)
+				kdT := k.ConstPressureSource(T, P, Y, kdY)
+				scale = math.Max(maxAbs(dY), math.Abs(dT))
+				if !agree(dT, kdT, 1e-8, 1e-10*scale) {
+					t.Fatalf("trial %d: constP dT kernel %g interpreted %g", trial, kdT, dT)
+				}
+				for i := range dY {
+					if !agree(dY[i], kdY[i], 1e-8, 1e-10*scale) {
+						t.Fatalf("trial %d: constP dY[%d] kernel %g interpreted %g", trial, i, kdY[i], dY[i])
+					}
+				}
+
+				dT = m.ConstVolumeSource(T, rho, Y, dY, ws)
+				kdT = k.ConstVolumeSource(T, rho, Y, kdY)
+				scale = math.Max(maxAbs(dY), math.Abs(dT))
+				if !agree(dT, kdT, 1e-8, 1e-10*scale) {
+					t.Fatalf("trial %d: constV dT kernel %g interpreted %g", trial, kdT, dT)
+				}
+				for i := range dY {
+					if !agree(dY[i], kdY[i], 1e-8, 1e-10*scale) {
+						t.Fatalf("trial %d: constV dY[%d] kernel %g interpreted %g", trial, i, kdY[i], dY[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// fdJacobian central-differences a source closure F: x -> (n+1)-vector
+// over the state x = [T, Y...], the reference the analytic Jacobians
+// must reproduce.
+func fdJacobian(x []float64, eval func(x, f []float64)) []float64 {
+	dim := len(x)
+	jac := make([]float64, dim*dim)
+	fp := make([]float64, dim)
+	fm := make([]float64, dim)
+	xp := make([]float64, dim)
+	h3 := math.Cbrt(2.22e-16)
+	for j := 0; j < dim; j++ {
+		// The floor sets the step from the variable's natural scale, not
+		// its current value: a trace mass fraction still moves the state
+		// through the density chain, and a cbrt(eps)*Y step there is
+		// below rho's roundoff quantum.
+		floor := 0.1
+		if j == 0 {
+			floor = 1 // temperature column: Kelvin scale
+		}
+		h := h3 * math.Max(math.Abs(x[j]), floor)
+		copy(xp, x)
+		xp[j] = x[j] + h
+		hi := xp[j]
+		eval(xp, fp)
+		xp[j] = x[j] - h
+		lo := xp[j]
+		eval(xp, fm)
+		inv := 1 / (hi - lo) // exact spanned width as stored
+		for i := 0; i < dim; i++ {
+			jac[i*dim+j] = (fp[i] - fm[i]) * inv
+		}
+	}
+	return jac
+}
+
+// checkJac compares an analytic Jacobian against its FD reference with
+// a per-row absolute floor (central differences bottom out around
+// cbrt(eps)^2 of the row scale).
+func checkJac(t *testing.T, label string, dim int, ja, jfd []float64) {
+	t.Helper()
+	for r := 0; r < dim; r++ {
+		var rowScale float64
+		for c := 0; c < dim; c++ {
+			if a := math.Abs(jfd[r*dim+c]); a > rowScale {
+				rowScale = a
+			}
+		}
+		for c := 0; c < dim; c++ {
+			a, b := ja[r*dim+c], jfd[r*dim+c]
+			if !agree(a, b, 2e-4, 1e-6*rowScale+1e-300) {
+				t.Fatalf("%s: jac[%d][%d] analytic %g fd %g (row scale %g)", label, r, c, a, b, rowScale)
+			}
+		}
+	}
+}
+
+// TestAnalyticJacobians verifies both closure Jacobians (and the
+// constant-volume rho column) against central differences of the
+// kernel's own source evaluations, per mechanism, over random states.
+func TestAnalyticJacobians(t *testing.T) {
+	for _, m := range chem.AllMechanisms() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			k := chem.KernelFor(m.Name)
+			if k == nil {
+				t.Fatalf("no kernel for %q", m.Name)
+			}
+			rng := rand.New(rand.NewSource(7))
+			n := m.NumSpecies()
+			dim := n + 1
+			jac := make([]float64, dim*dim)
+			drho := make([]float64, dim)
+			x := make([]float64, dim)
+			for trial := 0; trial < 12; trial++ {
+				T, P, rho, Y := randState(rng, m)
+				x[0] = T
+				copy(x[1:], Y)
+
+				k.ConstPressureJacobian(T, P, Y, jac)
+				fd := fdJacobian(x, func(x, f []float64) {
+					f[0] = k.ConstPressureSource(x[0], P, x[1:], f[1:])
+				})
+				checkJac(t, fmt.Sprintf("%s constP trial %d", m.Name, trial), dim, jac, fd)
+
+				k.ConstVolumeJacobian(T, rho, Y, jac, drho)
+				fd = fdJacobian(x, func(x, f []float64) {
+					f[0] = k.ConstVolumeSource(x[0], rho, x[1:], f[1:])
+				})
+				checkJac(t, fmt.Sprintf("%s constV trial %d", m.Name, trial), dim, jac, fd)
+
+				// rho column by scalar central difference.
+				h := math.Cbrt(2.22e-16) * rho
+				fp := make([]float64, dim)
+				fm := make([]float64, dim)
+				fp[0] = k.ConstVolumeSource(T, rho+h, Y, fp[1:])
+				fm[0] = k.ConstVolumeSource(T, rho-h, Y, fm[1:])
+				var scale float64
+				for i := 0; i < dim; i++ {
+					if a := math.Abs((fp[i] - fm[i]) / (2 * h)); a > scale {
+						scale = a
+					}
+				}
+				for i := 0; i < dim; i++ {
+					fd := (fp[i] - fm[i]) / (2 * h)
+					if !agree(drho[i], fd, 2e-4, 1e-6*scale+1e-300) {
+						t.Fatalf("%s trial %d: drho[%d] analytic %g fd %g", m.Name, trial, i, drho[i], fd)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelAllocFree pins the allocation-free property of the hot
+// paths: every scratch array must stay on the stack.
+func TestKernelAllocFree(t *testing.T) {
+	m := chem.H2Air()
+	k := chem.KernelFor(m.Name)
+	if k == nil {
+		t.Fatal("no kernel for h2air")
+	}
+	n := m.NumSpecies()
+	Y := m.StoichiometricH2Air()
+	dY := make([]float64, n)
+	jac := make([]float64, (n+1)*(n+1))
+	if a := testing.AllocsPerRun(100, func() {
+		k.ConstPressureSource(1500, chem.PAtm, Y, dY)
+	}); a != 0 {
+		t.Errorf("ConstPressureSource allocates %.1f/op", a)
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		k.ConstPressureJacobian(1500, chem.PAtm, Y, jac)
+	}); a != 0 {
+		t.Errorf("ConstPressureJacobian allocates %.1f/op", a)
+	}
+}
+
+// TestRigidVesselJacobian verifies chem.RigidVesselJac — the 0D
+// ignition system's (n+2)x(n+2) Jacobian over [T, Y, P] with the
+// density chain and the pressure row — against central differences of
+// the full rigid-vessel RHS.
+func TestRigidVesselJacobian(t *testing.T) {
+	for _, m := range chem.AllMechanisms() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			k := chem.KernelFor(m.Name)
+			if k == nil {
+				t.Fatalf("no kernel for %q", m.Name)
+			}
+			rng := rand.New(rand.NewSource(13))
+			n := m.NumSpecies()
+			dim := n + 2
+			rhs := func(z, f []float64) {
+				T := z[0]
+				if T < 200 {
+					T = 200
+				}
+				Y := z[1 : 1+n]
+				P := z[1+n]
+				rho := m.Density(P, T, Y)
+				f[0] = k.ConstVolumeSource(T, rho, Y, f[1:1+n])
+				f[1+n] = m.DPDt(rho, T, f[0], Y, f[1:1+n])
+			}
+			jfn := chem.RigidVesselJac(k, m)
+			jac := make([]float64, dim*dim)
+			for trial := 0; trial < 8; trial++ {
+				T, P, _, Y := randState(rng, m)
+				z := make([]float64, dim)
+				z[0] = T
+				copy(z[1:], Y)
+				z[1+n] = P
+				jfn(0, z, jac)
+				fd := make([]float64, dim*dim)
+				fp := make([]float64, dim)
+				fm := make([]float64, dim)
+				zp := make([]float64, dim)
+				h3 := math.Cbrt(2.22e-16)
+				for j := 0; j < dim; j++ {
+					floor := 0.1
+					if j == 0 {
+						floor = 1
+					}
+					if j == dim-1 {
+						floor = chem.PAtm
+					}
+					h := h3 * math.Max(math.Abs(z[j]), floor)
+					copy(zp, z)
+					zp[j] = z[j] + h
+					hi := zp[j]
+					rhs(zp, fp)
+					zp[j] = z[j] - h
+					lo := zp[j]
+					rhs(zp, fm)
+					inv := 1 / (hi - lo)
+					for i := 0; i < dim; i++ {
+						fd[i*dim+j] = (fp[i] - fm[i]) * inv
+					}
+				}
+				checkJac(t, fmt.Sprintf("%s rigid trial %d", m.Name, trial), dim, jac, fd)
+			}
+		})
+	}
+}

@@ -1,0 +1,145 @@
+package kernels
+
+// Closure-specific Jacobian assembly, shared by every generated kernel.
+// The unrolled ProdRatesJac cores supply the chemistry triplet at fixed
+// (T, c) — net rates w, temperature derivatives dwdT, and the
+// concentration Jacobian jw[i*n+j] = ∂wdot_i/∂c_j — and the helpers
+// below apply the chain rules of the two thermodynamic closures to
+// produce d(dT/dt, dY/dt)/d(T, Y). All scratch (civ, fY) is provided by
+// the caller so the whole path stays allocation-free.
+//
+// Both helpers work in the dimensionless NASA-7 forms (hRT = h/RT,
+// cpR = cp/R): the gas constant cancels between the enthalpy flux and
+// the heat capacity, e.g. dT/dt|_P = -T Σ hRT_i w_i / (rho Σ Y_j cpR_j/W_j).
+
+// assembleConstPressureJac fills jac, row-major (n+1)x(n+1) over
+// [T, Y], with the exact derivative of the constant-pressure source at
+// fixed P, where rho = P/(R T Σ Y_j/W_j) is a function of the state:
+//
+//	∂c_i/∂T   = -c_i/T                 (through rho)
+//	∂c_i/∂Y_k = rho δ_ik/W_k - c_i (1/W_k)/s
+//
+// so every entry carries both the direct reaction term and the density
+// chain term.
+func assembleConstPressureJac(T, rho, s float64, W, invW, Y, c, cpR, dcpR, hRT, w, dwdT, jw, civ, fY, jac []float64) {
+	n := len(W)
+	dim := n + 1
+	jac = jac[:dim*dim]
+	invT := 1 / T
+	invs := 1 / s
+	invRho := 1 / rho
+
+	// civ_i = Σ_j Jw_ij c_j is the response of wdot_i to a uniform
+	// relative dilation of all concentrations — the shape every density
+	// chain term takes. fY_i = dY_i/dt.
+	for i := 0; i < n; i++ {
+		var sum float64
+		row := jw[i*n : i*n+n]
+		for j, cj := range c {
+			sum += row[j] * cj
+		}
+		civ[i] = sum
+		fY[i] = w[i] * W[i] * invRho
+	}
+
+	var H, cpm, cpmT, dHdT, hciv float64
+	for i := 0; i < n; i++ {
+		H += hRT[i] * w[i]
+		cpm += Y[i] * cpR[i] * invW[i]
+		cpmT += Y[i] * dcpR[i] * invW[i]
+		// d(hRT)/dT = (cpR - hRT)/T, plus wdot's total T-derivative.
+		dHdT += (cpR[i]-hRT[i])*invT*w[i] + hRT[i]*(dwdT[i]-civ[i]*invT)
+		hciv += hRT[i] * civ[i]
+	}
+	D := rho * cpm
+	invD := 1 / D
+	dDdT := -D*invT + rho*cpmT
+
+	// Row 0: dT/dt = -T H / D.
+	jac[0] = -((H+T*dHdT)*D - T*H*dDdT) * invD * invD
+	for k := 0; k < n; k++ {
+		var hjw float64
+		for i := 0; i < n; i++ {
+			hjw += hRT[i] * jw[i*n+k]
+		}
+		dHdYk := invW[k] * (rho*hjw - hciv*invs)
+		dDdYk := invW[k] * (rho*cpR[k] - D*invs)
+		jac[1+k] = -T * (dHdYk*D - H*dDdYk) * invD * invD
+	}
+
+	// Species rows: dY_i/dt = w_i W_i / rho.
+	for i := 0; i < n; i++ {
+		row := jac[(1+i)*dim : (1+i)*dim+dim]
+		row[0] = W[i]*invRho*(dwdT[i]-civ[i]*invT) + fY[i]*invT
+		for k := 0; k < n; k++ {
+			row[1+k] = W[i]*invW[k]*jw[i*n+k] - invW[k]*invs*(W[i]*invRho*civ[i]-fY[i])
+		}
+	}
+}
+
+// assembleConstVolumeJac fills jac, row-major (n+1)x(n+1) over [T, Y],
+// with the derivative of the constant-volume source at fixed rho (the
+// concentrations depend on the state only through c_i = rho Y_i/W_i).
+// When drho is non-nil (length n+1) it receives ∂[dT/dt, dY/dt]/∂rho,
+// the extra column callers with state-dependent density need.
+func assembleConstVolumeJac(T, rho float64, W, invW, Y, c, cpR, dcpR, hRT, w, dwdT, jw, civ, fY, jac, drho []float64) {
+	n := len(W)
+	dim := n + 1
+	jac = jac[:dim*dim]
+	invT := 1 / T
+	invRho := 1 / rho
+
+	for i := 0; i < n; i++ {
+		var sum float64
+		row := jw[i*n : i*n+n]
+		for j, cj := range c {
+			sum += row[j] * cj
+		}
+		civ[i] = sum
+		fY[i] = w[i] * W[i] * invRho
+	}
+
+	// Internal-energy forms: u/RT = hRT - 1, cv/R = cpR - 1.
+	var U, cvm, cvmT, UT float64
+	for i := 0; i < n; i++ {
+		U += (hRT[i] - 1) * w[i]
+		cvm += Y[i] * (cpR[i] - 1) * invW[i]
+		cvmT += Y[i] * dcpR[i] * invW[i]
+		UT += (cpR[i]-hRT[i])*invT*w[i] + (hRT[i]-1)*dwdT[i]
+	}
+	den := 1 / (rho * cvm * cvm)
+
+	// Row 0: dT/dt = -T U / (rho cvm).
+	jac[0] = -((U+T*UT)*cvm - T*U*cvmT) * den
+	for k := 0; k < n; k++ {
+		var ujw float64
+		for i := 0; i < n; i++ {
+			ujw += (hRT[i] - 1) * jw[i*n+k]
+		}
+		UYk := rho * invW[k] * ujw
+		cvmYk := (cpR[k] - 1) * invW[k]
+		jac[1+k] = -T * (UYk*cvm - U*cvmYk) * den
+	}
+
+	// Species rows.
+	for i := 0; i < n; i++ {
+		row := jac[(1+i)*dim : (1+i)*dim+dim]
+		row[0] = W[i] * invRho * dwdT[i]
+		for k := 0; k < n; k++ {
+			row[1+k] = W[i] * invW[k] * jw[i*n+k]
+		}
+	}
+
+	if drho != nil {
+		drho = drho[:dim]
+		// ∂c_i/∂rho = c_i/rho, so wdot responds with civ_i/rho.
+		var ucv float64
+		for i := 0; i < n; i++ {
+			ucv += (hRT[i] - 1) * civ[i]
+		}
+		drho[0] = -T * (ucv - U) * invRho * invRho / cvm
+		for i := 0; i < n; i++ {
+			drho[1+i] = (W[i]*civ[i]*invRho - fY[i]) * invRho
+		}
+	}
+}

@@ -192,6 +192,13 @@ func H2AirLite() *Mechanism {
 	return m
 }
 
+// AllMechanisms constructs every mechanism in the registry, in a fixed
+// order. The chemgen generator walks this list, so adding a mechanism
+// here is all it takes to get a generated kernel for it.
+func AllMechanisms() []*Mechanism {
+	return []*Mechanism{H2Air(), H2AirLite(), COH2Air()}
+}
+
 // ByName returns a mechanism by registry name ("h2air" or "h2air-lite").
 func ByName(name string) (*Mechanism, error) {
 	switch name {

@@ -68,7 +68,19 @@ func (cc *CvodeComponent) ensureSolver() {
 	cc.solver = cvode.New(dim, f, cvode.Options{
 		RelTol: cc.rtol,
 		AbsTol: cc.atol,
+		Jac:    cc.jacFn(),
 	})
+}
+
+// jacFn probes the wired RHS for the optional JacobianRHSPort
+// capability. A nil return keeps cvode's finite-difference fallback;
+// each call hands out a fresh evaluator so per-worker solvers never
+// share Jacobian scratch.
+func (cc *CvodeComponent) jacFn() cvode.Jac {
+	if jp, ok := cc.rhsPort().(JacobianRHSPort); ok {
+		return jp.JacFn()
+	}
+	return nil
 }
 
 // IntegrateTo implements ImplicitIntegratorPort: advance y in place
@@ -90,6 +102,9 @@ func (cc *CvodeComponent) addStats(st cvode.Stats) {
 	cc.total.Steps += st.Steps
 	cc.total.RHSEvals += st.RHSEvals
 	cc.total.JacEvals += st.JacEvals
+	cc.total.JacBuildsAnalytic += st.JacBuildsAnalytic
+	cc.total.JacBuildsFD += st.JacBuildsFD
+	cc.total.JacReuses += st.JacReuses
 	cc.total.NewtonIters += st.NewtonIters
 	cc.statsMu.Unlock()
 }
@@ -104,10 +119,13 @@ func (cc *CvodeComponent) TotalStats() cvode.Stats {
 
 // Solver-statistic counter names used in checkpoints.
 const (
-	counterCvodeSteps  = "cvode.steps"
-	counterCvodeRHS    = "cvode.rhs_evals"
-	counterCvodeJac    = "cvode.jac_evals"
-	counterCvodeNewton = "cvode.newton_iters"
+	counterCvodeSteps       = "cvode.steps"
+	counterCvodeRHS         = "cvode.rhs_evals"
+	counterCvodeJac         = "cvode.jac_evals"
+	counterCvodeJacAnalytic = "cvode.jac_analytic"
+	counterCvodeJacFD       = "cvode.jac_fd"
+	counterCvodeJacReuses   = "cvode.jac_reuses"
+	counterCvodeNewton      = "cvode.newton_iters"
 )
 
 // Counters implements CounterSource: the cumulative solver statistics a
@@ -116,10 +134,13 @@ const (
 func (cc *CvodeComponent) Counters() map[string]float64 {
 	st := cc.TotalStats()
 	return map[string]float64{
-		counterCvodeSteps:  float64(st.Steps),
-		counterCvodeRHS:    float64(st.RHSEvals),
-		counterCvodeJac:    float64(st.JacEvals),
-		counterCvodeNewton: float64(st.NewtonIters),
+		counterCvodeSteps:       float64(st.Steps),
+		counterCvodeRHS:         float64(st.RHSEvals),
+		counterCvodeJac:         float64(st.JacEvals),
+		counterCvodeJacAnalytic: float64(st.JacBuildsAnalytic),
+		counterCvodeJacFD:       float64(st.JacBuildsFD),
+		counterCvodeJacReuses:   float64(st.JacReuses),
+		counterCvodeNewton:      float64(st.NewtonIters),
 	}
 }
 
@@ -127,10 +148,13 @@ func (cc *CvodeComponent) Counters() map[string]float64 {
 func (cc *CvodeComponent) RestoreCounters(m map[string]float64) {
 	cc.statsMu.Lock()
 	cc.total = cvode.Stats{
-		Steps:       int(m[counterCvodeSteps]),
-		RHSEvals:    int(m[counterCvodeRHS]),
-		JacEvals:    int(m[counterCvodeJac]),
-		NewtonIters: int(m[counterCvodeNewton]),
+		Steps:             int(m[counterCvodeSteps]),
+		RHSEvals:          int(m[counterCvodeRHS]),
+		JacEvals:          int(m[counterCvodeJac]),
+		JacBuildsAnalytic: int(m[counterCvodeJacAnalytic]),
+		JacBuildsFD:       int(m[counterCvodeJacFD]),
+		JacReuses:         int(m[counterCvodeJacReuses]),
+		NewtonIters:       int(m[counterCvodeNewton]),
 	}
 	cc.statsMu.Unlock()
 }
@@ -152,7 +176,7 @@ func (wi *workerIntegrator) IntegrateTo(t0, t1 float64, y []float64) (cvode.Stat
 		wi.dim = len(y)
 		rhs := wi.cc.rhsPort()
 		wi.solver = cvode.New(wi.dim, func(t float64, y, ydot []float64) { rhs.Eval(t, y, ydot) },
-			cvode.Options{RelTol: wi.cc.rtol, AbsTol: wi.cc.atol})
+			cvode.Options{RelTol: wi.cc.rtol, AbsTol: wi.cc.atol, Jac: wi.cc.jacFn()})
 	}
 	wi.solver.Init(t0, y)
 	if err := wi.solver.Integrate(t1); err != nil {

@@ -7,6 +7,7 @@ import (
 
 	"ccahydro/internal/cca"
 	"ccahydro/internal/chem"
+	"ccahydro/internal/cvode"
 	"ccahydro/internal/field"
 )
 
@@ -106,6 +107,26 @@ func (cr cellRHS) Eval(_ float64, y, ydot []float64) {
 		T = 200
 	}
 	ydot[0] = chemPort.ConstPressure(T, cr.ii.p0, y[1:1+n], ydot[1:1+n])
+}
+
+// JacFn implements JacobianRHSPort: the generated kernel's exact
+// constant-pressure Jacobian at the adaptor's fixed pressure, or nil
+// when the chemistry runs interpreted (the integrator then keeps its
+// finite-difference sweep). The kernel call is stateless, so the same
+// closure shape is handed to every per-worker solver.
+func (cr cellRHS) JacFn() cvode.Jac {
+	k := cr.ii.chemistry().Kernel()
+	if k == nil {
+		return nil
+	}
+	p0 := cr.ii.p0
+	return func(_ float64, y, jac []float64) {
+		T := y[0]
+		if T < 200 {
+			T = 200 // mirror Eval's guard
+		}
+		k.ConstPressureJacobian(T, p0, y[1:], jac)
+	}
 }
 
 // cellRef addresses one cell of one patch in the flattened cell list a

@@ -56,6 +56,7 @@ type iRHS struct {
 	inner RHSPort
 	dim   *obs.PortCall
 	eval  *obs.PortCall
+	jacf  *obs.PortCall
 }
 
 func (p *iRHS) Dim() int {
@@ -68,6 +69,27 @@ func (p *iRHS) Eval(t float64, y, ydot []float64) {
 	t0 := time.Now()
 	p.inner.Eval(t, y, ydot)
 	obsSince(p.eval, t0)
+}
+
+// JacFn forwards the optional JacobianRHSPort capability truthfully: a
+// nil evaluator when the wrapped RHS has none, otherwise the inner
+// evaluator wrapped so analytic Jacobian builds land in the histogram
+// alongside Eval.
+func (p *iRHS) JacFn() cvode.Jac {
+	jp, ok := p.inner.(JacobianRHSPort)
+	if !ok {
+		return nil
+	}
+	fn := jp.JacFn()
+	if fn == nil {
+		return nil
+	}
+	hh := p.jacf
+	return func(t float64, y, jac []float64) {
+		t0 := time.Now()
+		fn(t, y, jac)
+		obsSince(hh, t0)
+	}
 }
 
 // iPatchRHS instruments samr.PatchRHSPort; iRegionRHS adds the
@@ -160,6 +182,10 @@ func (p *iChemistry) Mechanism() *chem.Mechanism {
 	defer obsSince(p.mechHist, t0)
 	return p.inner.Mechanism()
 }
+
+// Kernel forwards the provider's kernel untimed: it is a capability
+// getter adaptors call once at closure-build time, not a hot path.
+func (p *iChemistry) Kernel() chem.Kernel { return p.inner.Kernel() }
 
 func (p *iChemistry) ConstPressure(T, P float64, Y, dY []float64) float64 {
 	t0 := time.Now()
@@ -461,7 +487,8 @@ func init() {
 		if !ok {
 			return nil
 		}
-		return &iRHS{inner: r, dim: h(o, inst, port, "Dim"), eval: h(o, inst, port, "Eval")}
+		return &iRHS{inner: r, dim: h(o, inst, port, "Dim"), eval: h(o, inst, port, "Eval"),
+			jacf: h(o, inst, port, "Jac")}
 	})
 	reg(PatchRHSPortType, func(o *obs.Obs, inst, port string, inner cca.Port) cca.Port {
 		r, ok := inner.(PatchRHSPort)

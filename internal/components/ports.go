@@ -121,6 +121,20 @@ type RHSPort interface {
 	Eval(t float64, y, ydot []float64)
 }
 
+// JacobianRHSPort is an optional extension of RHSPort: providers whose
+// chemistry has a generated kernel can hand the integrator an analytic
+// Jacobian, replacing the finite-difference sweep (Dim+1 RHS
+// evaluations per build) with one closed-form evaluation. Integrator
+// components probe for it with a type assertion on the wire.
+type JacobianRHSPort interface {
+	// JacFn returns a fresh evaluator filling the row-major Dim x Dim
+	// Jacobian df/dy, or nil when no analytic form is available for the
+	// current configuration (callers then keep the FD fallback). Each
+	// call returns an independent closure with private scratch, so
+	// per-worker solvers may evaluate theirs concurrently.
+	JacFn() cvode.Jac
+}
+
 // ImplicitIntegratorPort advances a vector of variables (the paper's
 // Implicit Integration subsystem). The integrator pulls its RHS from
 // its connected RHSPort.
@@ -147,6 +161,10 @@ type ChemistryPort interface {
 	ConstPressure(T, P float64, Y, dY []float64) float64
 	// ConstVolume fills dY and returns dT/dt at fixed density.
 	ConstVolume(T, rho float64, Y, dY []float64) float64
+	// Kernel returns the generated kernel backing the source terms, or
+	// nil when the provider runs the interpreted path. Adaptors use it
+	// to build analytic Jacobians consistent with the RHS they wrap.
+	Kernel() chem.Kernel
 }
 
 // DPDtPort computes the rigid-vessel pressure derivative (the paper's

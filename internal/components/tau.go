@@ -9,6 +9,7 @@ import (
 
 	"ccahydro/internal/amr"
 	"ccahydro/internal/cca"
+	"ccahydro/internal/cvode"
 	"ccahydro/internal/field"
 )
 
@@ -149,6 +150,28 @@ func (rm *RHSMonitor) Eval(t float64, y, ydot []float64) {
 	start := time.Now()
 	rm.inner.Eval(t, y, ydot)
 	rm.tp.Record(rm.label, time.Since(start).Seconds())
+}
+
+// JacFn implements JacobianRHSPort: the monitor forwards the analytic
+// Jacobian capability when the wrapped RHS offers one, timing builds
+// under "<label>.jac" — splicing a monitor into a wire must never
+// silently downgrade the solver to finite differences.
+func (rm *RHSMonitor) JacFn() cvode.Jac {
+	rm.fetch()
+	jp, ok := rm.inner.(JacobianRHSPort)
+	if !ok {
+		return nil
+	}
+	fn := jp.JacFn()
+	if fn == nil {
+		return nil
+	}
+	label := rm.label + ".jac"
+	return func(t float64, y, jac []float64) {
+		start := time.Now()
+		fn(t, y, jac)
+		rm.tp.Record(label, time.Since(start).Seconds())
+	}
 }
 
 // PatchRHSMonitor is the same proxy for samr.PatchRHSPort wires (the

@@ -275,11 +275,21 @@ func TestRHSMonitorSplicesInto0D(t *testing.T) {
 
 	comp, _ := f.Lookup("tau")
 	sum := comp.(*TauTimer).Summary()
-	if len(sum) != 1 || sum[0].Name != "monitor" {
+	byName := map[string]TimingEntry{}
+	for _, e := range sum {
+		byName[e.Name] = e
+	}
+	// Two labels: the RHS evaluations and the analytic Jacobian builds
+	// the monitor forwards (the kernel engine is the default, so the
+	// splice must not downgrade the solver to finite differences).
+	if len(sum) != 2 {
 		t.Fatalf("summary = %+v", sum)
 	}
-	if sum[0].Calls < 20 {
-		t.Errorf("calls = %d, expected many RHS invocations", sum[0].Calls)
+	if byName["monitor"].Calls < 20 {
+		t.Errorf("calls = %d, expected many RHS invocations", byName["monitor"].Calls)
+	}
+	if byName["monitor.jac"].Calls < 1 {
+		t.Errorf("jac builds = %d, expected the forwarded analytic Jacobian to be used", byName["monitor.jac"].Calls)
 	}
 	// Physics unchanged vs the unmonitored assembly.
 	drComp, _ := f.Lookup("driver")

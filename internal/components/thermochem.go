@@ -6,6 +6,11 @@ import (
 
 	"ccahydro/internal/cca"
 	"ccahydro/internal/chem"
+	"ccahydro/internal/cvode"
+
+	// Generated chemistry kernels register themselves on import, so
+	// every assembly built from this package resolves them by default.
+	_ "ccahydro/internal/chem/kernels"
 )
 
 // ThermoChemistry embodies the chemical interactions: it provides the
@@ -14,14 +19,23 @@ import (
 // wraps pre-existing F77 chemistry the same way). The mechanism is
 // selected by the "mech" parameter ("h2air" or "h2air-lite").
 //
+// The "kernels" parameter picks the evaluation engine: "auto" (the
+// default) uses the chemgen-generated kernel when one is registered
+// for the mechanism and falls back to the interpreted Reaction-table
+// walk otherwise, "on" requires a kernel, "off" forces interpretation.
+// Both engines agree to rounding accuracy (the kernels package property
+// tests pin this), so the switch changes cost, not answers.
+//
 // Source evaluations draw workspaces from a sync.Pool, so the port is
 // safe to call from many worker goroutines at once (parallel per-cell
-// chemistry hammers it); only the property database needs the mutex.
+// chemistry hammers it); generated kernels are stateless and need no
+// workspace at all. Only the property database needs the mutex.
 type ThermoChemistry struct {
-	mech *chem.Mechanism
-	ws   sync.Pool // of *chem.SourceWorkspace
-	db   map[string]float64
-	mu   sync.Mutex
+	mech   *chem.Mechanism
+	kernel chem.Kernel // nil = interpreted path
+	ws     sync.Pool   // of *chem.SourceWorkspace
+	db     map[string]float64
+	mu     sync.Mutex
 }
 
 // SetServices implements cca.Component.
@@ -32,6 +46,18 @@ func (tc *ThermoChemistry) SetServices(svc cca.Services) error {
 		return err
 	}
 	tc.mech = m
+	switch mode := svc.Parameters().GetString("kernels", "auto"); mode {
+	case "auto":
+		tc.kernel = chem.KernelFor(m.Name)
+	case "on":
+		if tc.kernel = chem.KernelFor(m.Name); tc.kernel == nil {
+			return fmt.Errorf("thermochem: kernels=on but no generated kernel for %q", m.Name)
+		}
+	case "off":
+		tc.kernel = nil
+	default:
+		return fmt.Errorf("thermochem: unknown kernels mode %q (want auto, on or off)", mode)
+	}
 	tc.ws.New = func() any { return chem.NewSourceWorkspace(m) }
 	tc.db = make(map[string]float64)
 	// Populate the property database: molar masses and counts.
@@ -50,8 +76,14 @@ func (tc *ThermoChemistry) SetServices(svc cca.Services) error {
 // Mechanism implements ChemistryPort.
 func (tc *ThermoChemistry) Mechanism() *chem.Mechanism { return tc.mech }
 
+// Kernel implements ChemistryPort.
+func (tc *ThermoChemistry) Kernel() chem.Kernel { return tc.kernel }
+
 // ConstPressure implements ChemistryPort. Safe for concurrent callers.
 func (tc *ThermoChemistry) ConstPressure(T, P float64, Y, dY []float64) float64 {
+	if tc.kernel != nil {
+		return tc.kernel.ConstPressureSource(T, P, Y, dY)
+	}
 	ws := tc.ws.Get().(*chem.SourceWorkspace)
 	dT := tc.mech.ConstPressureSource(T, P, Y, dY, ws)
 	tc.ws.Put(ws)
@@ -60,6 +92,9 @@ func (tc *ThermoChemistry) ConstPressure(T, P float64, Y, dY []float64) float64 
 
 // ConstVolume implements ChemistryPort. Safe for concurrent callers.
 func (tc *ThermoChemistry) ConstVolume(T, rho float64, Y, dY []float64) float64 {
+	if tc.kernel != nil {
+		return tc.kernel.ConstVolumeSource(T, rho, Y, dY)
+	}
 	ws := tc.ws.Get().(*chem.SourceWorkspace)
 	dT := tc.mech.ConstVolumeSource(T, rho, Y, dY, ws)
 	tc.ws.Put(ws)
@@ -180,6 +215,19 @@ func (pm *ProblemModeler) Eval(t float64, y, ydot []float64) {
 		pm.dpdt = dp.(DPDtPort)
 	}
 	ydot[1+n] = pm.dpdt.DPDt(rho, T, dT, Y, pm.dY)
+}
+
+// JacFn implements JacobianRHSPort: the analytic Jacobian of Eval over
+// z = [T, Y..., P], available when the chemistry runs on a generated
+// kernel (chem.RigidVesselJac does the density and pressure-row chain
+// rules). Each call returns a closure with private scratch.
+func (pm *ProblemModeler) JacFn() cvode.Jac {
+	chemPort := pm.chemistry()
+	k := chemPort.Kernel()
+	if k == nil {
+		return nil
+	}
+	return chem.RigidVesselJac(k, chemPort.Mechanism())
 }
 
 // Initializer imposes the 0D initial condition: a vector of double

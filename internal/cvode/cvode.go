@@ -15,6 +15,13 @@ import (
 // RHS evaluates ydot = f(t, y).
 type RHS func(t float64, y, ydot []float64)
 
+// Jac fills jac, row-major n*n, with the dense Jacobian df/dy at
+// (t, y). Supplied via Options.Jac it replaces the finite-difference
+// sweep (n+1 RHS evaluations per build) with a single analytic
+// evaluation; an approximate Jacobian is fine, since the modified
+// Newton iteration only needs a contraction, not an exact derivative.
+type Jac func(t float64, y, jac []float64)
+
 // Options configures a Solver. Zero values select documented defaults.
 type Options struct {
 	// RelTol is the relative tolerance (default 1e-6).
@@ -33,18 +40,28 @@ type Options struct {
 	// Stiff selects Newton iteration (true, default) or fixed-point
 	// iteration (false).
 	Stiff *bool
+	// Jac, when non-nil, supplies the Jacobian analytically; finite
+	// differences remain the fallback.
+	Jac Jac
 }
 
 // Stats counts the work performed.
 type Stats struct {
-	Steps        int
-	RHSEvals     int
-	JacEvals     int
-	NewtonIters  int
-	ErrTestFails int
-	ConvFails    int
-	LastStep     float64
-	LastOrder    int
+	Steps    int
+	RHSEvals int
+	// JacEvals counts Jacobian builds of either kind;
+	// JacBuildsAnalytic and JacBuildsFD split it by source, and
+	// JacReuses counts gamma-drift refactors that reused the stored
+	// Jacobian instead of rebuilding it.
+	JacEvals          int
+	JacBuildsAnalytic int
+	JacBuildsFD       int
+	JacReuses         int
+	NewtonIters       int
+	ErrTestFails      int
+	ConvFails         int
+	LastStep          float64
+	LastOrder         int
 }
 
 // Errors reported by the integrator.
@@ -273,9 +290,19 @@ func (s *Solver) predictAt(order int, tn float64, out []float64) bool {
 	return true
 }
 
-// buildJacobian computes J = df/dy by forward differences and factors
-// I - gamma J.
+// buildJacobian computes J = df/dy — analytically when Options.Jac is
+// set, by forward differences otherwise — and factors I - gamma J.
 func (s *Solver) buildJacobian(tn float64, y []float64, gamma float64) error {
+	if s.opt.Jac != nil {
+		s.opt.Jac(tn, y, s.jac.A)
+		s.stats.JacEvals++
+		s.stats.JacBuildsAnalytic++
+		if err := s.refactor(gamma); err != nil {
+			return err
+		}
+		s.haveJac = true
+		return nil
+	}
 	s.f(tn, y, s.ftmp)
 	s.stats.RHSEvals++
 	base := append([]float64(nil), s.ftmp...)
@@ -300,6 +327,7 @@ func (s *Solver) buildJacobian(tn float64, y []float64, gamma float64) error {
 		yp[j] = y[j]
 	}
 	s.stats.JacEvals++
+	s.stats.JacBuildsFD++
 	if err := s.refactor(gamma); err != nil {
 		return err
 	}
@@ -436,6 +464,7 @@ func (s *Solver) attemptStep(order int, h float64) (errNorm float64, err error) 
 				return 0, jerr
 			}
 		} else if math.Abs(gamma-s.gammaJac) > 0.3*math.Abs(s.gammaJac) {
+			s.stats.JacReuses++
 			if jerr := s.refactor(gamma); jerr != nil {
 				return 0, jerr
 			}

@@ -1,0 +1,17 @@
+#!/bin/sh
+# Regenerate BENCH_chem.json: the generated-kernel chemistry study.
+# Microbenchmarks each mechanism (interpreted vs chemgen RHS ns/op,
+# finite-difference vs analytic Jacobian build cost) and runs the 2D
+# flame end-to-end on both engines. The solver work counters (RHS and
+# Jacobian evaluations per flame step) are deterministic for the pinned
+# assembly; wall seconds are host-dependent and back the speedup
+# headline, which must exceed the 1.5x acceptance bar. Run from the
+# repo root:
+#
+#   sh scripts/bench_chem.sh           # full study
+#   sh scripts/bench_chem.sh -quick    # reduced iterations (same artifact)
+set -e
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/experiments -exp chem -chemjson BENCH_chem.json "$@"

@@ -1,10 +1,11 @@
 #!/bin/sh
-# Tier-1 gate: formatting, vet, build, full test suite, then
-# race-detector runs on the packages with intra-rank parallelism (the
-# exec worker pool and everything that fans patch loops out over it)
-# plus the checkpoint subsystem — internal/core under -race includes
-# the cross-P elastic-restore matrix (all {1,2,4}->{1,2,4} pairs) and
-# the delta-chain crash torture tests. Run from the repo root:
+# Tier-1 gate: formatting, stale-codegen check, vet, build, full test
+# suite, then race-detector runs on the packages with intra-rank
+# parallelism (the exec worker pool and everything that fans patch
+# loops out over it) plus the checkpoint subsystem — internal/core
+# under -race includes the cross-P elastic-restore matrix (all
+# {1,2,4}->{1,2,4} pairs) and the delta-chain crash torture tests.
+# Run from the repo root:
 #
 #   sh scripts/check.sh
 set -e
@@ -16,6 +17,13 @@ unformatted=$(gofmt -l cmd internal)
 if [ -n "$unformatted" ]; then
 	echo "gofmt needed on:" >&2
 	echo "$unformatted" >&2
+	exit 1
+fi
+
+echo "== go generate ./internal/chem/... (generated kernels must be committed fresh)"
+go generate ./internal/chem/...
+if ! git diff --exit-code -- internal/chem/kernels; then
+	echo "stale generated kernels: commit the go generate output above" >&2
 	exit 1
 fi
 
@@ -31,6 +39,6 @@ go test ./...
 echo "== go test -race (parallel engine + drivers + message substrate + observability + checkpoint)"
 go test -race ./internal/exec/... ./internal/components/... ./internal/core/... \
 	./internal/mpi/... ./internal/field/... ./internal/obs/... ./internal/cca/... \
-	./internal/ckpt/...
+	./internal/ckpt/... ./internal/chem/...
 
 echo "OK"
