@@ -41,6 +41,7 @@ import (
 	"ccahydro/internal/core"
 	"ccahydro/internal/mpi"
 	"ccahydro/internal/obs"
+	"ccahydro/internal/prof"
 )
 
 func main() {
@@ -64,6 +65,8 @@ func main() {
 	obsSample := flag.Int("obssample", 0, "record 1 of every N port calls (0 or 1 = record all)")
 	obsFloor := flag.Duration("obsfloor", 0, "drop port-call observations faster than this latency floor")
 	traceBuf := flag.Int("tracebuf", 0, "with -trace: spill trace events to disk past N buffered per track (bounded memory)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	repo := components.NewRepository()
@@ -104,6 +107,12 @@ func main() {
 		}
 		fmt.Print(cca.Arena(f))
 		return
+	}
+
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	model := mpi.CPlantModel
@@ -238,6 +247,11 @@ func main() {
 		})
 	} else {
 		runErr = runOnce("", true)
+	}
+	// Finalize profiles before any error exit: a failed run's profile
+	// is exactly the one worth inspecting.
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, runErr)

@@ -13,14 +13,17 @@
 //	experiments -exp obs            # observability: interceptor overhead + trace shape
 //	experiments -exp ckpt           # checkpoint/restart + fault-recovery study
 //	experiments -exp chem           # generated-kernel vs interpreted chemistry study
+//	experiments -exp pool           # epoch-engine dispatch + strip-interleave study
 //	experiments -exp all            # everything
 //
 // -quick shrinks the parameter sweeps for a fast sanity pass. -commjson
 // writes the comm study to a JSON file (the BENCH_comm.json artifact);
 // -obsjson does the same for the observability study (BENCH_obs.json),
 // -ckptjson for the checkpoint study (BENCH_ckpt.json), -chemjson for
-// the chemistry-kernel study (BENCH_chem.json), and -obstrace writes
-// the instrumented run's Perfetto trace.
+// the chemistry-kernel study (BENCH_chem.json), -pooljson for the pool
+// study (BENCH_pool.json), and -obstrace writes the instrumented run's
+// Perfetto trace. -cpuprofile/-memprofile write pprof profiles of
+// whatever experiments ran.
 package main
 
 import (
@@ -34,10 +37,11 @@ import (
 	"ccahydro/internal/components"
 	"ccahydro/internal/euler"
 	"ccahydro/internal/field"
+	"ccahydro/internal/prof"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, ckpt, chem, all")
+	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, ckpt, chem, pool, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	dump := flag.String("dump", "", "directory for CSV/PGM field dumps (fig3, fig4, fig6)")
 	commJSON := flag.String("commjson", "", "path for the comm study JSON artifact (exp comm)")
@@ -45,12 +49,20 @@ func main() {
 	obsTrace := flag.String("obstrace", "", "path for the instrumented run's Perfetto trace (exp obs)")
 	ckptJSON := flag.String("ckptjson", "", "path for the checkpoint study JSON artifact (exp ckpt)")
 	chemJSON := flag.String("chemjson", "", "path for the chemistry-kernel study JSON artifact (exp chem)")
+	poolJSON := flag.String("pooljson", "", "path for the pool dispatch study JSON artifact (exp pool)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 	if *dump != "" {
 		if err := os.MkdirAll(*dump, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+	stopProf, err := prof.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 
 	run := func(name string, fn func() error) {
@@ -60,6 +72,11 @@ func main() {
 		fmt.Printf("==== %s ====\n", name)
 		if err := fn(); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			// Finalize profiles before the error exit: a failed
+			// experiment's profile is exactly the one worth inspecting.
+			if err := stopProf(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
 			os.Exit(1)
 		}
 		fmt.Println()
@@ -282,6 +299,22 @@ func main() {
 		return nil
 	})
 
+	run("pool", func() error {
+		rep := bench.BuildPoolReport(*quick)
+		bench.PrintPoolReport(os.Stdout, rep)
+		if *poolJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*poolJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *poolJSON)
+		}
+		return nil
+	})
+
 	run("chem", func() error {
 		rep, err := bench.BuildChemReport(*quick)
 		if err != nil {
@@ -326,6 +359,11 @@ func main() {
 		bench.PrintFig7(os.Stdout, series, 12)
 		return nil
 	})
+
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 // dumpField writes one component of a DataObject as both CSV and PGM.

@@ -1,0 +1,330 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/exec"
+)
+
+// Pool benchmarks for the persistent-worker epoch engine: a dispatch
+// microbenchmark comparing the epoch handoff against the fork/join
+// baselines it replaced, and a deterministic strip-interleave study
+// showing how flattening per-patch boundary strips across patches
+// shrinks the epoch tail. Dispatch rows are wall-clock (best-of-reps
+// minimizes scheduler noise; the *ratios* are the claim, not the
+// absolute nanoseconds); the strip rows are pure geometry and
+// identical on every host.
+
+// PoolDispatchPoint is one dispatch measurement: the same loop driven
+// through the epoch engine, through goroutine-spawn fork/join, and
+// through a channel-dispatch worker pool (the engine's predecessor).
+// Overheads subtract the serial inline time of the identical loop, so
+// they isolate what the synchronization costs, not what fn costs.
+type PoolDispatchPoint struct {
+	Width int `json:"width"`
+	N     int `json:"n"`
+	// Best-of-reps ns per loop invocation.
+	SerialNs   float64 `json:"serial_ns_op"`
+	EpochNs    float64 `json:"epoch_ns_op"`
+	ForkJoinNs float64 `json:"fork_join_ns_op"`
+	ChanPoolNs float64 `json:"chan_pool_ns_op"`
+	// Dispatch overhead = mode - serial (floored at 1ns).
+	EpochOverheadNs    float64 `json:"epoch_overhead_ns"`
+	ForkJoinOverheadNs float64 `json:"fork_join_overhead_ns"`
+	// OverheadReduction is fork/join overhead over epoch overhead —
+	// the acceptance number.
+	OverheadReduction float64 `json:"overhead_reduction"`
+	// EpochAllocsOp is allocations per epoch handoff in steady state.
+	EpochAllocsOp float64 `json:"epoch_allocs_op"`
+}
+
+// benchBody is the measured loop body: a few flops per item, written
+// to a padded per-slot sink so the work cannot be optimized away and
+// slots do not share cache lines.
+var benchSink [1 << 10]float64
+
+func benchBody(w, lo, hi int) {
+	s := 0.0
+	for i := lo; i < hi; i++ {
+		s += float64(i) * 1.000001
+	}
+	benchSink[(w%64)*8] += s
+}
+
+// chunkBounds mirrors the pool's contiguous partition.
+func chunkBounds(n, ch, c int) (lo, hi int) {
+	return c * n / ch, (c + 1) * n / ch
+}
+
+// forkJoinLoop is the baseline the epoch engine replaced at the API
+// boundary: spawn a goroutine per chunk, join on a WaitGroup.
+func forkJoinLoop(width, n int) {
+	chunks := width
+	if chunks > n {
+		chunks = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(chunks - 1)
+	for c := 0; c < chunks-1; c++ {
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := chunkBounds(n, chunks, c)
+			benchBody(c, lo, hi)
+		}(c)
+	}
+	lo, hi := chunkBounds(n, chunks, chunks-1)
+	benchBody(chunks-1, lo, hi)
+	wg.Wait()
+}
+
+// chanJob + chanPool replicate the repository's previous pool: resident
+// workers fed per-call job descriptors through a channel, with a
+// channel close as the join. Kept here so BENCH_pool records what the
+// epoch engine was measured against, not just the textbook baseline.
+type chanJob struct {
+	n      int
+	chunks int32
+	next   int32
+	done   int32
+	fn     func(w, lo, hi int)
+	fin    chan struct{}
+}
+
+func (j *chanJob) drain() {
+	for {
+		c := atomic.AddInt32(&j.next, 1) - 1
+		if c >= j.chunks {
+			return
+		}
+		ch := int(j.chunks)
+		j.fn(int(c), int(c)*j.n/ch, (int(c)+1)*j.n/ch)
+		if atomic.AddInt32(&j.done, 1) == j.chunks {
+			close(j.fin)
+		}
+	}
+}
+
+type chanPool struct {
+	width int
+	jobs  chan *chanJob
+	start sync.Once
+}
+
+func (p *chanPool) forEachChunk(n int, fn func(w, lo, hi int)) {
+	chunks := p.width
+	if chunks > n {
+		chunks = n
+	}
+	j := &chanJob{n: n, chunks: int32(chunks), fn: fn, fin: make(chan struct{})}
+	p.start.Do(func() {
+		for i := 0; i < p.width; i++ {
+			go func() {
+				for j := range p.jobs {
+					j.drain()
+				}
+			}()
+		}
+	})
+	for i := 1; i < chunks; i++ {
+		select {
+		case p.jobs <- j:
+		default:
+			i = chunks
+		}
+	}
+	j.drain()
+	<-j.fin
+}
+
+// measureNs returns the best-of-reps average nanoseconds per call.
+func measureNs(f func()) float64 {
+	const reps, iters = 5, 2000
+	best := 1e18
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			f()
+		}
+		if ns := float64(time.Since(t0).Nanoseconds()) / iters; ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// RunPoolDispatch measures one (width, n) dispatch point.
+func RunPoolDispatch(width, n int) PoolDispatchPoint {
+	pt := PoolDispatchPoint{Width: width, N: n}
+	pool := exec.NewPool(width)
+	cp := &chanPool{width: width, jobs: make(chan *chanJob, 4*width)}
+	// Warm everything: spawn workers, fault in code paths.
+	pool.ForEachChunk(n, benchBody)
+	cp.forEachChunk(n, benchBody)
+	forkJoinLoop(width, n)
+
+	pt.SerialNs = measureNs(func() { benchBody(0, 0, n) })
+	pt.EpochNs = measureNs(func() { pool.ForEachChunk(n, benchBody) })
+	pt.ForkJoinNs = measureNs(func() { forkJoinLoop(width, n) })
+	pt.ChanPoolNs = measureNs(func() { cp.forEachChunk(n, benchBody) })
+	pt.EpochOverheadNs = pt.EpochNs - pt.SerialNs
+	if pt.EpochOverheadNs < 1 {
+		pt.EpochOverheadNs = 1
+	}
+	pt.ForkJoinOverheadNs = pt.ForkJoinNs - pt.SerialNs
+	if pt.ForkJoinOverheadNs < 1 {
+		pt.ForkJoinOverheadNs = 1
+	}
+	pt.OverheadReduction = pt.ForkJoinOverheadNs / pt.EpochOverheadNs
+	pt.EpochAllocsOp = testing.AllocsPerRun(200, func() { pool.ForEachChunk(n, benchBody) })
+	return pt
+}
+
+// PoolStripPoint is one row of the strip-interleave study: the same
+// ragged patch layout's boundary-strip work chunked per patch (each
+// chunk evaluates all strips of its patches — the old shape) versus
+// flattened and segmented across patches (the stripPlan shape), with
+// per-chunk load measured in strip cells. Occupancy is
+// total/(chunks·max): the fraction of the epoch the average worker is
+// busy, 1.0 meaning no tail.
+type PoolStripPoint struct {
+	Width   int `json:"width"`
+	Patches int `json:"patches"`
+	// Strips counts raw boundary strips; Items the segmented work list.
+	Strips int `json:"strips"`
+	Items  int `json:"items"`
+	// Cells is the total boundary-strip cell count of the level.
+	Cells              int     `json:"cells"`
+	PerPatchOccupancy  float64 `json:"per_patch_occupancy"`
+	SegmentedOccupancy float64 `json:"segmented_occupancy"`
+}
+
+// occupancy evaluates total/(chunks*max) for costs chunked contiguously
+// into min(width, len(costs)) chunks, the pool's partition.
+func occupancy(costs []int, width int) float64 {
+	chunks := width
+	if chunks > len(costs) {
+		chunks = len(costs)
+	}
+	if chunks == 0 {
+		return 1
+	}
+	total, maxLoad := 0, 0
+	for c := 0; c < chunks; c++ {
+		lo, hi := chunkBounds(len(costs), chunks, c)
+		load := 0
+		for i := lo; i < hi; i++ {
+			load += costs[i]
+		}
+		total += load
+		if load > maxLoad {
+			maxLoad = load
+		}
+	}
+	if maxLoad == 0 {
+		return 1
+	}
+	return float64(total) / float64(chunks*maxLoad)
+}
+
+// RunPoolStrips computes the strip study for one layout: a diagonal
+// flame-front band on an n×n level, clustered into the ragged patches
+// a regrid would produce (wide boxes at the band's waist, slivers at
+// its ends), split at maxCells, with ghost-width boundary strips. Pure
+// geometry — deterministic on every host.
+func RunPoolStrips(n, maxCells, ghost int, widths []int) []PoolStripPoint {
+	domain := amr.NewBox(0, 0, n-1, n-1)
+	ff := amr.NewFlagField(domain)
+	for j := 0; j <= n-1; j++ {
+		for i := 0; i <= n-1; i++ {
+			d := i - j
+			if d < 0 {
+				d = -d
+			}
+			// A curved front: band width varies along the diagonal.
+			if d <= 2+(i+j)%7 {
+				ff.Set(i, j)
+			}
+		}
+	}
+	blocks := amr.SplitLargeBoxes(amr.Cluster(ff, amr.DefaultClusterOptions), maxCells)
+	// segMaxCells mirrors components.stripSegMaxCells.
+	const segMaxCells = 8
+	totalCells, nStrips := 0, 0
+	perPatch := make([]int, len(blocks))
+	var segmented []int
+	for i, b := range blocks {
+		for _, s := range b.Subtract(b.Grow(-ghost)) {
+			perPatch[i] += s.NumCells()
+			nStrips++
+			for _, seg := range amr.SplitLargeBoxes([]amr.Box{s}, segMaxCells) {
+				segmented = append(segmented, seg.NumCells())
+			}
+		}
+		totalCells += perPatch[i]
+	}
+	var out []PoolStripPoint
+	for _, w := range widths {
+		out = append(out, PoolStripPoint{
+			Width: w, Patches: len(blocks), Strips: nStrips, Items: len(segmented), Cells: totalCells,
+			PerPatchOccupancy:  occupancy(perPatch, w),
+			SegmentedOccupancy: occupancy(segmented, w),
+		})
+	}
+	return out
+}
+
+// PoolReport is the BENCH_pool.json payload.
+type PoolReport struct {
+	Dispatch []PoolDispatchPoint `json:"dispatch"`
+	// StripN/StripMaxCells/StripGhost describe the strip-study layout.
+	StripN        int              `json:"strip_n"`
+	StripMaxCells int              `json:"strip_max_cells"`
+	StripGhost    int              `json:"strip_ghost"`
+	Strips        []PoolStripPoint `json:"strips"`
+}
+
+// BuildPoolReport runs the dispatch microbench over (width, n) points
+// and the strip study over widths.
+func BuildPoolReport(quick bool) PoolReport {
+	points := [][2]int{{2, 2}, {4, 4}, {8, 8}, {4, 64}, {4, 1024}}
+	widths := []int{2, 4, 8, 16}
+	if quick {
+		points = [][2]int{{2, 2}, {4, 4}}
+		widths = []int{2, 4}
+	}
+	rep := PoolReport{StripN: 96, StripMaxCells: 600, StripGhost: 2}
+	for _, p := range points {
+		rep.Dispatch = append(rep.Dispatch, RunPoolDispatch(p[0], p[1]))
+	}
+	rep.Strips = RunPoolStrips(rep.StripN, rep.StripMaxCells, rep.StripGhost, widths)
+	return rep
+}
+
+// PrintPoolReport renders the study as text.
+func PrintPoolReport(w io.Writer, rep PoolReport) {
+	fmt.Fprintf(w, "Epoch-engine dispatch microbenchmark (best-of-reps wall clock)\n\n")
+	fmt.Fprintf(w, "%5s %6s %10s %10s %10s %10s %10s %7s\n",
+		"width", "n", "serial", "epoch", "forkjoin", "chanpool", "overhead", "allocs")
+	for _, pt := range rep.Dispatch {
+		fmt.Fprintf(w, "%5d %6d %8.0fns %8.0fns %8.0fns %8.0fns %9.2fx %7.1f\n",
+			pt.Width, pt.N, pt.SerialNs, pt.EpochNs, pt.ForkJoinNs, pt.ChanPoolNs,
+			pt.OverheadReduction, pt.EpochAllocsOp)
+	}
+	fmt.Fprintf(w, "\noverhead = fork/join dispatch overhead over epoch dispatch overhead (>= 3x is the acceptance bar)\n")
+	fmt.Fprintf(w, "\nBoundary-strip interleave, %dx%d level, patches <= %d cells, ghost %d\n\n",
+		rep.StripN, rep.StripN, rep.StripMaxCells, rep.StripGhost)
+	fmt.Fprintf(w, "%5s %8s %7s %6s %7s %10s %11s\n", "width", "patches", "strips", "items", "cells", "per-patch", "segmented")
+	for _, pt := range rep.Strips {
+		fmt.Fprintf(w, "%5d %8d %7d %6d %7d %9.1f%% %10.1f%%\n",
+			pt.Width, pt.Patches, pt.Strips, pt.Items, pt.Cells,
+			100*pt.PerPatchOccupancy, 100*pt.SegmentedOccupancy)
+	}
+	fmt.Fprintf(w, "\noccupancy = total strip cells / (chunks x max chunk load): the segmented plan's\n")
+	fmt.Fprintf(w, "tail chunk is no heavier than its peers, so the post-exchange epoch has no straggler.\n")
+}

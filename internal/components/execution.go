@@ -46,10 +46,12 @@ func (ec *ExecutionComponent) Pool() *exec.Pool {
 			ec.pool = exec.NewPool(w)
 			// Private pools can carry the framework's tracer (the
 			// shared default pool serves every rank, so per-rank
-			// worker tracks would interleave there).
+			// worker tracks would interleave there) and feed the
+			// epoch-join tail into the pool_epoch_wait histogram.
 			if ec.svc != nil {
 				if o := ec.svc.Observability(); o != nil {
 					ec.pool.SetTracer(o.Tracer())
+					ec.pool.SetEpochWaitHistogram(o.Metrics().Histogram("pool_epoch_wait"))
 				}
 			}
 		}

@@ -41,6 +41,7 @@ type eiLevelCache struct {
 	lv      *levelVector
 	solver  *rkc.Solver
 	y0      []float64
+	strips  stripPlan
 }
 
 // SetServices implements cca.Component.
@@ -230,7 +231,7 @@ func (ei *ExplicitIntegrator) AdvanceLevel(mesh MeshPort, name string, level int
 			lv.scatterPatch(i, lc.offs[i], y)
 		})
 		evalLevelOverlapped(d, level, patches, lc.rhsData, dx, dy, pool, rhsPort,
-			preExchange, applyBC)
+			&lc.strips, preExchange, applyBC)
 		pool.ForEach(len(patches), func(_, i int) {
 			lv.gatherFrom(i, lc.offs[i], lc.rhsData[i], ydot)
 		})

@@ -28,6 +28,10 @@ type ImplicitIntegrator struct {
 
 	// rhs context for the current cell integration.
 	nsp int
+
+	// cells is the reusable flattened work list (one driver advance at
+	// a time drives this port, so reuse is race-free).
+	cells []cellRef
 }
 
 // SetServices implements cca.Component.
@@ -130,10 +134,25 @@ func (cr cellRHS) JacFn() cvode.Jac {
 }
 
 // cellRef addresses one cell of one patch in the flattened cell list a
-// level advance fans out over.
+// chemistry advance fans out over; level rides along for error reports.
 type cellRef struct {
-	pd   *field.PatchData
-	i, j int
+	pd    *field.PatchData
+	i, j  int
+	level int
+}
+
+// appendLevelCells appends every owned interior cell of a level to the
+// flattened work list.
+func appendLevelCells(cells []cellRef, d *field.DataObject, level int) []cellRef {
+	for _, pd := range d.LocalPatches(level) {
+		b := pd.Interior()
+		for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+			for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+				cells = append(cells, cellRef{pd, i, j, level})
+			}
+		}
+	}
+	return cells
 }
 
 // AdvanceChemistry implements CellChemistryPort. The stiff integrations
@@ -147,6 +166,32 @@ func (ii *ImplicitIntegrator) AdvanceChemistry(mesh MeshPort, name string, level
 	if o := ii.svc.Observability(); o != nil {
 		defer o.Span("chem", obsLevelName("chem.implicit", level))()
 	}
+	d := mesh.Field(name)
+	ii.cells = appendLevelCells(ii.cells[:0], d, level)
+	return ii.advanceCells(dt)
+}
+
+// AdvanceChemistryLevels implements MultiLevelChemistryPort: the cells
+// of every level are flattened into one list and advanced in a single
+// pool epoch. Per-cell results are independent of which loop delivered
+// the cell (the solver is fully re-initialized per cell), so this is
+// bit-for-bit the per-level sequence minus NumLevels-1 fork/join
+// barriers — fine levels with few cells no longer serialize the pool.
+func (ii *ImplicitIntegrator) AdvanceChemistryLevels(mesh MeshPort, name string, dt float64) (int, error) {
+	if o := ii.svc.Observability(); o != nil {
+		defer o.Span("chem", "chem.implicit all-levels")()
+	}
+	d := mesh.Field(name)
+	ii.cells = ii.cells[:0]
+	for l := 0; l < d.Hierarchy().NumLevels(); l++ {
+		ii.cells = appendLevelCells(ii.cells, d, l)
+	}
+	return ii.advanceCells(dt)
+}
+
+// advanceCells integrates every cell of ii.cells by dt over the pool.
+func (ii *ImplicitIntegrator) advanceCells(dt float64) (int, error) {
+	cells := ii.cells
 	ip, err := ii.svc.GetPort("integrator")
 	if err != nil {
 		return 0, err
@@ -156,17 +201,6 @@ func (ii *ImplicitIntegrator) AdvanceChemistry(mesh MeshPort, name string, level
 	mech := ii.chemistry().Mechanism() // also pre-fetches the chemistry port
 	nsp := mech.NumSpecies()
 	ii.nsp = nsp
-	d := mesh.Field(name)
-
-	var cells []cellRef
-	for _, pd := range d.LocalPatches(level) {
-		b := pd.Interior()
-		for j := b.Lo[1]; j <= b.Hi[1]; j++ {
-			for i := b.Lo[0]; i <= b.Hi[0]; i++ {
-				cells = append(cells, cellRef{pd, i, j})
-			}
-		}
-	}
 
 	pool := optionalPool(ii.svc)
 	width := pool.Width()
@@ -211,7 +245,7 @@ func (ii *ImplicitIntegrator) AdvanceChemistry(mesh MeshPort, name string, level
 			failMu.Lock()
 			if failIdx < 0 || idx < failIdx {
 				failIdx = idx
-				failErr = fmt.Errorf("cell (%d,%d) level %d: %w", c.i, c.j, level, err)
+				failErr = fmt.Errorf("cell (%d,%d) level %d: %w", c.i, c.j, c.level, err)
 			}
 			failMu.Unlock()
 			return

@@ -273,6 +273,31 @@ func (p *iCellChem) AdvanceChemistry(mesh MeshPort, name string, level int, dt f
 	return n, err
 }
 
+// AdvanceChemistryLevels delegates the multi-level epoch to the wrapped
+// component; the drivers consult SupportsMultiLevel before calling, so
+// this is only reached when the inner port really implements it.
+func (p *iCellChem) AdvanceChemistryLevels(mesh MeshPort, name string, dt float64) (int, error) {
+	ml, ok := p.inner.(MultiLevelChemistryPort)
+	if !ok {
+		panic("components: AdvanceChemistryLevels on a wire without multi-level support")
+	}
+	t0 := time.Now()
+	n, err := ml.AdvanceChemistryLevels(mesh, name, dt)
+	obsSince(p.h, t0)
+	return n, err
+}
+
+// SupportsMultiLevel reports the wrapped component's actual capability,
+// the same way SupportsRegion stays truthful on iPatchRHS.
+func (p *iCellChem) SupportsMultiLevel() bool {
+	inner := CellChemistryPort(p.inner)
+	if s, ok := inner.(interface{ SupportsMultiLevel() bool }); ok {
+		return s.SupportsMultiLevel()
+	}
+	_, ok := inner.(MultiLevelChemistryPort)
+	return ok
+}
+
 // Counters/RestoreCounters forward CounterSource across the
 // cellChemistry wire (the ImplicitIntegrator adaptor delegates them to
 // its wired integrator).

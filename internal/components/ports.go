@@ -223,6 +223,18 @@ type CellChemistryPort interface {
 	AdvanceChemistry(mesh MeshPort, name string, level int, dt float64) (cells int, err error)
 }
 
+// MultiLevelChemistryPort is the optional extension of a cellChemistry
+// wire that advances the cells of *all* hierarchy levels in one
+// flattened pool epoch instead of one fork/join per level — per-cell
+// integrations are independent across levels (dt is the same
+// everywhere under operator splitting), so the per-level barriers buy
+// nothing and starve workers on small fine levels. Proxy components
+// (iCellChem) implement it by delegation and report through
+// SupportsMultiLevel whether the component behind the wire does too.
+type MultiLevelChemistryPort interface {
+	AdvanceChemistryLevels(mesh MeshPort, name string, dt float64) (cells int, err error)
+}
+
 // FluxPort computes an interface flux from reconstructed left/right
 // states — the seam where GodunovFlux and EFMFlux interchange.
 type FluxPort interface {

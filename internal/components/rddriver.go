@@ -81,6 +81,20 @@ func (dr *RDDriver) optionalPort(name string) cca.Port {
 	return p
 }
 
+// multiLevelChem resolves the optional multi-level extension of a
+// cellChemistry wire, mirroring regionRHS: proxies answer
+// SupportsMultiLevel truthfully for the component behind them.
+func multiLevelChem(c CellChemistryPort) MultiLevelChemistryPort {
+	ml, ok := c.(MultiLevelChemistryPort)
+	if !ok {
+		return nil
+	}
+	if p, ok := c.(interface{ SupportsMultiLevel() bool }); ok && !p.SupportsMultiLevel() {
+		return nil
+	}
+	return ml
+}
+
 func (dr *RDDriver) run() error {
 	params := dr.svc.Parameters()
 	dt := params.GetFloat("dt", 1e-7)
@@ -147,6 +161,14 @@ func (dr *RDDriver) run() error {
 	chemStep := func(frac float64) error {
 		if skipChem || cellChem == nil {
 			return nil
+		}
+		// One flattened epoch over all levels' cells when the wire
+		// supports it (bit-for-bit the per-level sequence: each cell's
+		// integration is independent and dt is level-uniform); the
+		// per-level loop is the fallback for foreign providers.
+		if ml := multiLevelChem(cellChem); ml != nil {
+			_, err := ml.AdvanceChemistryLevels(mesh, name, dt*frac)
+			return err
 		}
 		h := mesh.Hierarchy()
 		for l := 0; l < h.NumLevels(); l++ {

@@ -24,6 +24,7 @@ type rk2LevelCache struct {
 	patches []*field.PatchData
 	rhs     []*field.PatchData
 	save    []*field.PatchData
+	strips  stripPlan
 }
 
 // SetServices implements cca.Component.
@@ -120,7 +121,7 @@ func (rk *ExplicitIntegratorRK2) AdvanceLevel(mesh MeshPort, name string, level 
 
 	// Stage 1: U1 = U + dt L(U).
 	evalLevelOverlapped(d, level, patches, rhs, dx, dy, pool, rhsPort,
-		preExchange, applyBC)
+		&lc.strips, preExchange, applyBC)
 	pool.ForEach(len(patches), func(_, i int) {
 		pd := patches[i]
 		b := pd.Interior()
@@ -135,7 +136,7 @@ func (rk *ExplicitIntegratorRK2) AdvanceLevel(mesh MeshPort, name string, level 
 
 	// Stage 2: U^{n+1} = (U + U1 + dt L(U1)) / 2.
 	evalLevelOverlapped(d, level, patches, rhs, dx, dy, pool, rhsPort,
-		preExchange, applyBC)
+		&lc.strips, preExchange, applyBC)
 	pool.ForEach(len(patches), func(_, i int) {
 		pd := patches[i]
 		b := pd.Interior()

@@ -1,7 +1,10 @@
 package exec
 
 import (
+	"fmt"
 	"math"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -240,13 +243,193 @@ func TestSerialPoolNoGoroutines(t *testing.T) {
 	if ran != 10 {
 		t.Fatalf("ran %d items, want 10", ran)
 	}
-	// spawn must not have fired: jobs queue still empty and unserviced.
-	select {
-	case p.jobs <- &job{chunks: 0, fin: make(chan struct{})}:
-		// Buffered send succeeds; nobody is listening — drain it back out.
-		<-p.jobs
-	default:
-		t.Fatal("jobs queue unexpectedly full")
+	// The epoch machinery must not have been touched: no workers
+	// spawned, no epoch published.
+	if p.spawned.Load() {
+		t.Fatal("width-1 pool spawned workers")
+	}
+	if p.state.Load() != 0 {
+		t.Fatalf("width-1 pool published an epoch: state=%#x", p.state.Load())
+	}
+}
+
+// TestForEachChunkEdgeCases locks in the boundary behavior of the
+// epoch path: empty and negative loops do nothing, n < width produces
+// exactly n one-item chunks, n == width one item per slot, and chunk
+// ranges tile [0, n) in order.
+func TestForEachChunkEdgeCases(t *testing.T) {
+	cases := []struct {
+		n, width   int
+		wantChunks int
+	}{
+		{n: 0, width: 4, wantChunks: 0},
+		{n: -3, width: 4, wantChunks: 0},
+		{n: 1, width: 4, wantChunks: 1},
+		{n: 3, width: 8, wantChunks: 3}, // n < width: one item per chunk
+		{n: 4, width: 4, wantChunks: 4}, // n == width
+		{n: 5, width: 4, wantChunks: 4},
+		{n: 100, width: 1, wantChunks: 1},
+	}
+	for _, tc := range cases {
+		p := NewPool(tc.width)
+		var mu sync.Mutex
+		type rng struct{ w, lo, hi int }
+		var got []rng
+		p.ForEachChunk(tc.n, func(w, lo, hi int) {
+			mu.Lock()
+			got = append(got, rng{w, lo, hi})
+			mu.Unlock()
+		})
+		if len(got) != tc.wantChunks {
+			t.Errorf("n=%d width=%d: %d chunks, want %d", tc.n, tc.width, len(got), tc.wantChunks)
+			continue
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].w < got[j].w })
+		next := 0
+		for c, r := range got {
+			if r.w != c {
+				t.Errorf("n=%d width=%d: chunk %d ran under slot %d", tc.n, tc.width, c, r.w)
+			}
+			if r.lo != next || r.hi <= r.lo {
+				t.Errorf("n=%d width=%d: chunk %d range [%d,%d), want lo=%d and non-empty",
+					tc.n, tc.width, c, r.lo, r.hi, next)
+			}
+			if tc.n < tc.width && r.hi-r.lo != 1 {
+				t.Errorf("n=%d width=%d: chunk %d has %d items, want 1", tc.n, tc.width, c, r.hi-r.lo)
+			}
+			next = r.hi
+		}
+		if tc.wantChunks > 0 && next != tc.n {
+			t.Errorf("n=%d width=%d: chunks cover [0,%d), want [0,%d)", tc.n, tc.width, next, tc.n)
+		}
+	}
+}
+
+// TestNestedFromWorkerMapping checks that a ForEach issued from inside
+// a worker chunk (the inline fallback) uses the same deterministic
+// chunk→slot mapping as a top-level parallel loop.
+func TestNestedFromWorkerMapping(t *testing.T) {
+	p := NewPool(4)
+	const inner = 10
+	ref := make([]int, inner)
+	p.ForEach(inner, func(w, i int) { ref[i] = w }) // top-level mapping
+	slots := make([][]int, 4)
+	p.ForEachChunk(4, func(w, lo, hi int) {
+		m := make([]int, inner)
+		p.ForEach(inner, func(iw, i int) { m[i] = iw }) // nested: inline
+		slots[w] = m
+	})
+	for w, m := range slots {
+		for i := range m {
+			if m[i] != ref[i] {
+				t.Fatalf("outer slot %d: nested item %d ran under slot %d, top-level uses %d",
+					w, i, m[i], ref[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentCallersSharedPool checks the SCMD sharing contract: any
+// number of goroutines may drive ForEach on one pool concurrently (one
+// wins the epoch machinery, the rest run inline) with correct results
+// and no deadlock. Run under -race in scripts/check.sh.
+func TestConcurrentCallersSharedPool(t *testing.T) {
+	p := NewPool(4)
+	const callers, loops, n = 6, 25, 300
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for g := 0; g < callers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < loops; rep++ {
+				var sum int64
+				p.ForEach(n, func(_, i int) { atomic.AddInt64(&sum, int64(i)) })
+				if sum != n*(n-1)/2 {
+					errs <- fmt.Errorf("sum = %d, want %d", sum, n*(n-1)/2)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPanicInCallerChunk checks a panic in the caller-owned last chunk
+// surfaces as *PanicError exactly like a worker panic, and the pool
+// stays usable.
+func TestPanicInCallerChunk(t *testing.T) {
+	p := NewPool(4)
+	func() {
+		defer func() {
+			r := recover()
+			pe, ok := r.(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %T (%v), want *PanicError", r, r)
+			}
+			if pe.Value != "last chunk" {
+				t.Errorf("panic value = %v, want %q", pe.Value, "last chunk")
+			}
+		}()
+		p.ForEachChunk(4, func(w, lo, hi int) {
+			if w == 3 { // the caller's own chunk
+				panic("last chunk")
+			}
+		})
+	}()
+	var sum int64
+	p.ForEach(10, func(_, i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 45 {
+		t.Fatalf("sum after caller panic = %d, want 45", sum)
+	}
+}
+
+// TestNestedPanicPropagation checks panics cross the inline fallback of
+// a nested loop as *PanicError without disturbing the outer epoch.
+func TestNestedPanicPropagation(t *testing.T) {
+	p := NewPool(4)
+	var caught int64
+	p.ForEachChunk(4, func(w, lo, hi int) {
+		err := func() (err any) {
+			defer func() { err = recover() }()
+			p.ForEach(8, func(_, i int) {
+				if i == 5 {
+					panic("inner")
+				}
+			})
+			return nil
+		}()
+		if pe, ok := err.(*PanicError); ok && pe.Value == "inner" {
+			atomic.AddInt64(&caught, 1)
+		}
+	})
+	if caught != 4 {
+		t.Fatalf("nested panic caught in %d/4 outer chunks", caught)
+	}
+}
+
+// TestEpochHandoffZeroAlloc is the steady-state allocation gate for the
+// epoch engine: after warm-up, a parallel ForEachChunk must not
+// allocate — the epoch publish is one atomic store and the join one
+// atomic counter, with the job descriptor reused in place.
+func TestEpochHandoffZeroAlloc(t *testing.T) {
+	p := NewPool(4)
+	var cells [256]float64
+	fn := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cells[i] += float64(i)
+		}
+	}
+	p.ForEachChunk(len(cells), fn) // warm up: spawn workers
+	allocs := testing.AllocsPerRun(200, func() {
+		p.ForEachChunk(len(cells), fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("epoch handoff allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

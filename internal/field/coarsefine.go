@@ -89,17 +89,14 @@ func (d *DataObject) buildShadowTransfers(level int, shadows map[int]*PatchData)
 }
 
 // fillShadows populates coarse-space shadows for every local fine patch
-// on level; collective.
+// on level, through the cached per-(phase, level) schedule — the
+// shadow patches, transfer list, and message plan are built once per
+// regrid and reused by every fill; collective.
 func (d *DataObject) fillShadows(level int) map[int]*PatchData {
-	shadows := make(map[int]*PatchData)
-	for _, fp := range d.h.Level(level).Patches {
-		if d.owns(fp) {
-			shadows[fp.ID] = d.shadowFor(fp, d.h.Ratio)
-		}
-	}
-	ts := d.buildShadowTransfers(level, shadows)
-	d.executeTransfers(phaseShadow, level, ts, d.Local, func(id int) *PatchData { return shadows[id] })
-	return shadows
+	s := d.xferScheduleFor(phaseShadow, level)
+	d.startTransfers(s, phaseShadow, level, d.Local,
+		func(id int) *PatchData { return s.scratch[id] }).Finish()
+	return s.scratch
 }
 
 // interpolate writes fine values in region (fine index space) from the
@@ -217,16 +214,16 @@ func (d *DataObject) RestrictLevel(level int) {
 		defer d.obs.Span("samr", spanName("restrict", level))()
 	}
 	ratio := d.h.Ratio
-	// Build coarse-space temporaries holding the averaged fine data.
-	temps := make(map[int]*PatchData)
+	// Average fine data into the schedule's cached coarse-space
+	// temporaries (every interior cell is rewritten, so reuse is safe).
+	s := d.xferScheduleFor(phaseRestrict, level)
 	for _, fp := range d.h.Level(level).Patches {
 		pd := d.local[fp.ID]
 		if pd == nil {
 			continue
 		}
-		cbox := fp.Box.Coarsen(ratio)
-		tp := &amr.Patch{ID: fp.ID, Level: level - 1, Box: cbox, Owner: fp.Owner}
-		tmp := NewPatchData(tp, d.NComp, 0)
+		tmp := s.scratch[fp.ID]
+		cbox := tmp.Interior()
 		w := 1.0 / float64(ratio*ratio)
 		for c := 0; c < d.NComp; c++ {
 			for j := cbox.Lo[1]; j <= cbox.Hi[1]; j++ {
@@ -244,9 +241,17 @@ func (d *DataObject) RestrictLevel(level int) {
 				}
 			}
 		}
-		temps[fp.ID] = tmp
 	}
 	// Move averaged regions into the coarse patches.
+	d.startTransfers(s, phaseRestrict, level,
+		func(id int) *PatchData { return s.scratch[id] }, d.Local).Finish()
+}
+
+// buildRestrictTransfers enumerates the coarsened-fine → coarse moves
+// of a restriction (deterministic from the hierarchy alone, so the
+// list is schedule-cacheable).
+func (d *DataObject) buildRestrictTransfers(level int) []transfer {
+	ratio := d.h.Ratio
 	coarse := d.h.Level(level - 1)
 	var ts []transfer
 	for _, fp := range d.h.Level(level).Patches {
@@ -263,13 +268,22 @@ func (d *DataObject) RestrictLevel(level int) {
 			})
 		}
 	}
-	d.executeTransfers(phaseRestrict, level, ts, func(id int) *PatchData { return temps[id] }, d.Local)
+	return ts
 }
 
 // Remap moves this object's data onto a rebuilt hierarchy: each new
 // level is first prolonged from the new coarser level, then overwritten
 // wherever old same-level patches overlap. Returns the new DataObject;
 // the receiver is left untouched. Collective.
+//
+// The copy-old-data transfers of every level form one multi-level
+// exchange epoch: all levels' sends and receives are posted up front
+// (they read only the immutable old object and are tagged per level),
+// and each level's exchange is finished only when the top-down
+// prolongation sweep reaches it — deep hierarchies keep all remap
+// traffic in flight at once instead of one blocking exchange per
+// level. The apply order per level (prolong, then old-data overwrite)
+// is unchanged, so results are bit-for-bit those of the blocking remap.
 func (d *DataObject) Remap(newH *amr.Hierarchy, kind ProlongKind) *DataObject {
 	nd := New(d.Name, newH, d.NComp, d.Ghost, d.comm)
 	nd.Names = d.Names
@@ -278,13 +292,8 @@ func (d *DataObject) Remap(newH *amr.Hierarchy, kind ProlongKind) *DataObject {
 		defer d.obs.Span("samr", "remap "+d.Name)()
 	}
 	maxL := newH.NumLevels()
-	for l := 0; l < maxL; l++ {
-		if l > 0 {
-			nd.ProlongLevel(l, kind)
-		}
-		if l >= d.h.NumLevels() {
-			continue
-		}
+	exs := make([]*TransferExchange, maxL)
+	for l := 0; l < maxL && l < d.h.NumLevels(); l++ {
 		// Copy old level-l data where it overlaps new level-l patches.
 		var ts []transfer
 		for _, np := range newH.Level(l).Patches {
@@ -300,7 +309,17 @@ func (d *DataObject) Remap(newH *amr.Hierarchy, kind ProlongKind) *DataObject {
 				})
 			}
 		}
-		nd.executeTransfers(phaseRemap, l, ts, d.Local, nd.Local)
+		s := &xferSchedule{ts: ts}
+		nd.planXfer(s)
+		exs[l] = nd.startTransfers(s, phaseRemap, l, d.Local, nd.Local)
+	}
+	for l := 0; l < maxL; l++ {
+		if l > 0 {
+			nd.ProlongLevel(l, kind)
+		}
+		if exs[l] != nil {
+			exs[l].Finish()
+		}
 	}
 	return nd
 }

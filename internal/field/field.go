@@ -190,6 +190,11 @@ type DataObject struct {
 	sched          map[int]*ghostSchedule
 	scheduleBuilds int
 
+	// xsched caches the shadow-fill and restriction transfer schedules
+	// per (phase, level), invalidated the same way.
+	xsched     map[xferKey]*xferSchedule
+	xferBuilds int
+
 	// obs, when non-nil, receives spans for the object's exchange and
 	// transfer phases. Every hot path guards on the pointer, so a nil
 	// obs adds no work.
@@ -269,47 +274,16 @@ type transfer struct {
 }
 
 // executeTransfers runs a deterministic, collectively identical list of
-// transfers. All regions bound for the same destination rank travel in
+// transfers as one blocking Start/Finish cycle over a transient
+// schedule. All regions bound for the same destination rank travel in
 // one coalesced message tagged by (phase, level); receives and local
 // copies are applied strictly in list order, because some callers (the
-// shadow fill) rely on later transfers overwriting earlier ones.
+// shadow fill) rely on later transfers overwriting earlier ones. Hot
+// phases use the cached schedules in xfer.go instead.
 func (d *DataObject) executeTransfers(ph phase, level int, ts []transfer, getSrc, getDst func(id int) *PatchData) {
-	if d.obs != nil {
-		defer d.obs.Span("samr", spanName("xfer."+ph.String(), level))()
-	}
-	if d.comm == nil {
-		for _, t := range ts {
-			dst := getDst(t.dstID)
-			src := getSrc(t.srcID)
-			if src != nil && dst != nil {
-				dst.CopyRegion(src, t.region)
-			}
-		}
-		return
-	}
-	plan := d.buildPlan(ts)
-	tag := streamTag(ph, level)
-	reqs := make([]*mpi.Request, len(plan.recvs))
-	for k, pm := range plan.recvs {
-		reqs[k] = d.comm.Irecv(pm.rank, tag)
-	}
-	for _, pm := range plan.sends {
-		d.comm.Isend(pm.rank, tag, d.packPeer(pm, ts, getSrc))
-	}
-	bufs := make([][]float64, len(reqs))
-	for k, req := range reqs {
-		bufs[k], _ = req.Wait()
-	}
-	views := make([][]float64, len(ts))
-	d.sliceViews(plan, ts, bufs, views)
-	for i, t := range ts {
-		switch {
-		case t.dstOwner == d.rank && t.srcOwner != d.rank:
-			getDst(t.dstID).unpack(t.region, views[i])
-		case t.dstOwner == d.rank && t.srcOwner == d.rank:
-			getDst(t.dstID).CopyRegion(getSrc(t.srcID), t.region)
-		}
-	}
+	s := &xferSchedule{ts: ts}
+	d.planXfer(s)
+	d.startTransfers(s, ph, level, getSrc, getDst).Finish()
 }
 
 // ExchangeGhosts fills the ghost cells of every patch on a level from

@@ -111,14 +111,9 @@ func (d *DataObject) buildPlan(ts []transfer) commPlan {
 	return plan
 }
 
-// packPeer serializes every transfer of one coalesced message, in list
-// order, into a single buffer.
-func (d *DataObject) packPeer(pm peerMsg, ts []transfer, getSrc func(id int) *PatchData) []float64 {
-	return d.packPeerInto(make([]float64, 0, pm.words), pm, ts, getSrc)
-}
-
-// packPeerInto is packPeer into a caller-owned buffer (reset to length
-// zero first), so persistent schedules repack without allocating.
+// packPeerInto serializes every transfer of one coalesced message, in
+// list order, into a caller-owned buffer (reset to length zero first),
+// so persistent schedules repack without allocating.
 func (d *DataObject) packPeerInto(buf []float64, pm peerMsg, ts []transfer, getSrc func(id int) *PatchData) []float64 {
 	buf = buf[:0]
 	for _, idx := range pm.items {
@@ -126,24 +121,6 @@ func (d *DataObject) packPeerInto(buf []float64, pm peerMsg, ts []transfer, getS
 		buf = getSrc(t.srcID).packAppend(t.region, buf)
 	}
 	return buf
-}
-
-// sliceViews maps each received transfer index to its slice of the
-// peer's coalesced buffer.
-func (d *DataObject) sliceViews(plan commPlan, ts []transfer, bufs [][]float64, views [][]float64) {
-	for k, pm := range plan.recvs {
-		buf := bufs[k]
-		off := 0
-		for _, idx := range pm.items {
-			w := d.words(ts[idx])
-			views[idx] = buf[off : off+w]
-			off += w
-		}
-		if off != len(buf) {
-			panic(fmt.Sprintf("field: coalesced message from rank %d has %d words, schedule expects %d",
-				pm.rank, len(buf), off))
-		}
-	}
 }
 
 // ghostSchedule is the cached exchange plan of one level: valid while

@@ -1,0 +1,228 @@
+package field
+
+import (
+	"fmt"
+
+	"ccahydro/internal/amr"
+	"ccahydro/internal/mpi"
+)
+
+// Generalized transfer schedules: the shadow-fill (prolongation),
+// restriction, and regrid-remap transfer lists get the same treatment
+// PR 2 gave the ghost exchange — the deterministic region enumeration
+// and peer grouping are computed once per (phase, level, hierarchy
+// generation) and reused, with persistent pack buffers and receive
+// requests, and the blocking execute call split into Start (post all
+// sends/receives) and Finish (apply local copies and unpacks in strict
+// list order, waiting for each peer's message lazily at its first
+// use). Remap goes further and runs one multi-level exchange epoch:
+// every level's transfers are posted up front, and each level is
+// finished only when the prolongation sweep reaches it.
+
+// xferKey identifies a cached transfer schedule: one per phase and
+// (fine) level.
+type xferKey struct {
+	ph    phase
+	level int
+}
+
+// xferSchedule is the cached transfer plan of one (phase, level):
+// the deterministic transfer list, its peer grouping, per-transfer
+// receive-buffer offsets, persistent buffers, and — for the shadow and
+// restrict phases — the coarse-space scratch patches the transfers
+// read or write. Valid while the level object and hierarchy generation
+// are unchanged.
+type xferSchedule struct {
+	lv   *amr.Level
+	gen  int
+	ts   []transfer
+	plan commPlan
+
+	// scratch holds the phase's patch-aligned intermediates (shadows
+	// for phaseShadow, restriction temporaries for phaseRestrict),
+	// keyed by fine patch ID. Allocated zeroed once per schedule:
+	// every transfer and every averaging sweep rewrites exactly the
+	// same cells on every reuse, and cells no transfer covers must
+	// read as zero — which they do, forever, because nothing ever
+	// writes them.
+	scratch map[int]*PatchData
+
+	// Persistent exchange state, reused by every Start/Finish cycle.
+	sendBufs [][]float64
+	reqs     []mpi.Request
+	bufs     [][]float64
+	waited   []bool
+	// recvOf[i] is the plan.recvs index of the coalesced message
+	// carrying transfer i (-1 if not received here); viewOff[i] its
+	// word offset inside that buffer.
+	recvOf  []int
+	viewOff []int
+
+	exch TransferExchange
+}
+
+// planXfer computes the peer grouping and receive-offset tables for
+// s.ts and allocates the persistent buffers.
+func (d *DataObject) planXfer(s *xferSchedule) {
+	s.plan = d.buildPlan(s.ts)
+	s.recvOf = make([]int, len(s.ts))
+	s.viewOff = make([]int, len(s.ts))
+	for i := range s.recvOf {
+		s.recvOf[i] = -1
+	}
+	for k, pm := range s.plan.recvs {
+		off := 0
+		for _, idx := range pm.items {
+			s.recvOf[idx] = k
+			s.viewOff[idx] = off
+			off += d.words(s.ts[idx])
+		}
+	}
+	if d.comm != nil {
+		s.reqs = make([]mpi.Request, len(s.plan.recvs))
+		s.bufs = make([][]float64, len(s.plan.recvs))
+		s.waited = make([]bool, len(s.plan.recvs))
+		s.sendBufs = make([][]float64, len(s.plan.sends))
+		for k, pm := range s.plan.sends {
+			s.sendBufs[k] = make([]float64, 0, pm.words)
+		}
+	}
+}
+
+// xferScheduleFor returns the cached schedule of a phase on a (fine)
+// level, rebuilding it only after a regrid (generation change) or
+// hierarchy swap. Only phaseShadow and phaseRestrict are cacheable —
+// remap schedules couple two hierarchies and are built transiently.
+func (d *DataObject) xferScheduleFor(ph phase, level int) *xferSchedule {
+	lv := d.h.Level(level)
+	gen := d.h.Generation()
+	key := xferKey{ph, level}
+	if s, ok := d.xsched[key]; ok && s.lv == lv && s.gen == gen {
+		return s
+	}
+	s := &xferSchedule{lv: lv, gen: gen}
+	switch ph {
+	case phaseShadow:
+		s.scratch = make(map[int]*PatchData)
+		for _, fp := range lv.Patches {
+			if d.owns(fp) {
+				s.scratch[fp.ID] = d.shadowFor(fp, d.h.Ratio)
+			}
+		}
+		s.ts = d.buildShadowTransfers(level, s.scratch)
+	case phaseRestrict:
+		s.scratch = make(map[int]*PatchData)
+		ratio := d.h.Ratio
+		for _, fp := range lv.Patches {
+			if d.owns(fp) {
+				tp := &amr.Patch{ID: fp.ID, Level: level - 1, Box: fp.Box.Coarsen(ratio), Owner: fp.Owner}
+				s.scratch[fp.ID] = NewPatchData(tp, d.NComp, 0)
+			}
+		}
+		s.ts = d.buildRestrictTransfers(level)
+	default:
+		panic(fmt.Sprintf("field: phase %v is not schedule-cacheable", ph))
+	}
+	d.planXfer(s)
+	if d.xsched == nil {
+		d.xsched = make(map[xferKey]*xferSchedule)
+	}
+	d.xsched[key] = s
+	d.xferBuilds++
+	return s
+}
+
+// XferScheduleBuilds counts coarse–fine/restrict schedule constructions
+// (cache misses); tests assert the cache only invalidates across
+// regrids, mirroring ScheduleBuilds for the ghost phase.
+func (d *DataObject) XferScheduleBuilds() int { return d.xferBuilds }
+
+// TransferExchange is an in-flight split transfer phase: Start posted
+// the coalesced sends and receives; Finish applies local copies and
+// remote unpacks in strict transfer-list order (some phases rely on
+// later transfers overwriting earlier ones), waiting for each peer's
+// message lazily when its first transfer is applied — local applies
+// overlap remote flight.
+type TransferExchange struct {
+	d              *DataObject
+	s              *xferSchedule
+	ph             phase
+	level          int
+	getSrc, getDst func(id int) *PatchData
+	active         bool
+}
+
+// startTransfers posts the coalesced exchange described by s and
+// returns its (schedule-resident, reused) handle. Collectively
+// identical transfer lists on every rank are the caller's contract,
+// exactly as for the ghost schedule.
+func (d *DataObject) startTransfers(s *xferSchedule, ph phase, level int, getSrc, getDst func(id int) *PatchData) *TransferExchange {
+	if s.exch.active {
+		panic(fmt.Sprintf("field: %v transfer already in flight on level %d", ph, level))
+	}
+	if d.obs != nil {
+		defer d.obs.Span("samr", spanName("xfer."+ph.String(), level))()
+	}
+	s.exch = TransferExchange{d: d, s: s, ph: ph, level: level, getSrc: getSrc, getDst: getDst, active: true}
+	if d.comm != nil {
+		tag := streamTag(ph, level)
+		for k, pm := range s.plan.recvs {
+			d.comm.IrecvInto(&s.reqs[k], pm.rank, tag)
+		}
+		for k, pm := range s.plan.sends {
+			s.sendBufs[k] = d.packPeerInto(s.sendBufs[k], pm, s.ts, getSrc)
+			d.comm.IsendBuffered(pm.rank, tag, s.sendBufs[k])
+		}
+	}
+	return &s.exch
+}
+
+// Finish applies the posted transfer phase: every transfer in list
+// order, waiting for a peer's coalesced message at the first transfer
+// that needs it. Idempotent.
+func (ex *TransferExchange) Finish() {
+	if !ex.active {
+		return
+	}
+	ex.active = false
+	d, s := ex.d, ex.s
+	if d.comm == nil {
+		for _, t := range s.ts {
+			dst := ex.getDst(t.dstID)
+			src := ex.getSrc(t.srcID)
+			if src != nil && dst != nil {
+				dst.CopyRegion(src, t.region)
+			}
+		}
+		return
+	}
+	if d.obs != nil {
+		defer d.obs.Span("samr", spanName("xfer."+ex.ph.String()+".finish", ex.level))()
+	}
+	for i, t := range s.ts {
+		switch {
+		case t.dstOwner == d.rank && t.srcOwner != d.rank:
+			k := s.recvOf[i]
+			if !s.waited[k] {
+				buf, _ := s.reqs[k].Wait()
+				if pm := s.plan.recvs[k]; len(buf) != pm.words {
+					panic(fmt.Sprintf("field: coalesced %v message from rank %d has %d words, schedule expects %d",
+						ex.ph, pm.rank, len(buf), pm.words))
+				}
+				s.bufs[k] = buf
+				s.waited[k] = true
+			}
+			w := d.words(t)
+			ex.getDst(t.dstID).unpack(t.region, s.bufs[k][s.viewOff[i]:s.viewOff[i]+w])
+		case t.dstOwner == d.rank && t.srcOwner == d.rank:
+			ex.getDst(t.dstID).CopyRegion(ex.getSrc(t.srcID), t.region)
+		}
+	}
+	for k := range s.waited {
+		if s.waited[k] {
+			d.comm.Recycle(s.bufs[k])
+			s.bufs[k] = nil
+			s.waited[k] = false
+		}
+	}
+}

@@ -1,0 +1,55 @@
+// Package prof wires runtime/pprof file profiles into the command-line
+// binaries (`ccarun -cpuprofile`, `experiments -memprofile`, ...), so
+// pool and communication hotspots are inspectable with `go tool pprof`
+// without attaching the tracer or the metrics HTTP server.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the requested profiles. Either path may be empty. The
+// returned stop function finalizes them (it must run before the
+// process exits for the profiles to be valid) and reports what was
+// written; it is safe to call exactly once.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("cpu profile written to %s\n", cpuPath)
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("heap profile written to %s\n", memPath)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# Regenerate BENCH_pool.json: the epoch-engine dispatch microbenchmark
+# (persistent-worker epoch handoff vs goroutine-spawn fork/join vs the
+# channel-dispatch pool it replaced) and the deterministic
+# strip-interleave tail-occupancy study. Dispatch rows are wall-clock
+# best-of-reps — the overhead *ratio* is the claim, not the absolute
+# nanoseconds; strip rows are pure geometry. Run from the repo root:
+#
+#   sh scripts/bench_pool.sh           # full sweep
+#   sh scripts/bench_pool.sh -quick    # reduced sweep
+set -e
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/experiments -exp pool -pooljson BENCH_pool.json "$@"

@@ -1,10 +1,13 @@
 #!/bin/sh
 # Tier-1 gate: formatting, stale-codegen check, vet, build, full test
 # suite, then race-detector runs on the packages with intra-rank
-# parallelism (the exec worker pool and everything that fans patch
-# loops out over it) plus the checkpoint subsystem — internal/core
-# under -race includes the cross-P elastic-restore matrix (all
-# {1,2,4}->{1,2,4} pairs) and the delta-chain crash torture tests.
+# parallelism (the exec epoch engine — persistent workers claiming
+# chunks off a lock-free claim word — and everything that fans patch
+# loops out over it, including the RKC stages) plus the checkpoint
+# subsystem — internal/core under -race includes the cross-P
+# elastic-restore matrix (all {1,2,4}->{1,2,4} pairs) and the
+# delta-chain crash torture tests. internal/exec also asserts the
+# steady-state epoch handoff allocates nothing (TestEpochHandoffZeroAlloc).
 # Run from the repo root:
 #
 #   sh scripts/check.sh
@@ -36,9 +39,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (parallel engine + drivers + message substrate + observability + checkpoint)"
+echo "== go test -race (epoch engine + drivers + message substrate + observability + checkpoint)"
 go test -race ./internal/exec/... ./internal/components/... ./internal/core/... \
 	./internal/mpi/... ./internal/field/... ./internal/obs/... ./internal/cca/... \
-	./internal/ckpt/... ./internal/chem/...
+	./internal/ckpt/... ./internal/chem/... ./internal/rkc/...
 
 echo "OK"
