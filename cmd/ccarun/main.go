@@ -11,6 +11,8 @@
 //	ccarun -np 4 -ckpt-every 5 -ckpt-dir ck script.rc   # checkpoint every 5 steps
 //	ccarun -np 4 -restore ck script.rc                  # resume from the latest checkpoint
 //	ccarun -np 4 -ckpt-every 2 -fault kill:1@3 script.rc # kill rank 1 at step 3; auto-recover
+//	ccarun -np 4 -serve :8080 script.rc      # live /metrics /healthz /series /trace
+//	ccarun -np 4 -events run.jsonl script.rc # structured JSONL event log
 //
 // Script grammar (one command per line, # comments):
 //
@@ -24,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -42,6 +45,7 @@ import (
 	"ccahydro/internal/mpi"
 	"ccahydro/internal/obs"
 	"ccahydro/internal/prof"
+	"ccahydro/internal/telemetry"
 )
 
 func main() {
@@ -60,6 +64,9 @@ func main() {
 	ckptCompress := flag.Bool("ckpt-compress", false, "gzip checkpoint shard payloads")
 	ckptKeep := flag.Int("ckpt-keep", 0, "retention: keep only the newest K checkpoints (0 = keep all)")
 	ckptKeepEvery := flag.Int("ckpt-keep-every", 0, "retention: additionally keep every N-th step")
+	serveAddr := flag.String("serve", "", "serve live telemetry (/metrics, /healthz, /series, /trace) on this address while the run executes")
+	eventsPath := flag.String("events", "", "append structured run events (steps, regrids, checkpoints, faults, retries) to this JSONL file")
+	flightDir := flag.String("flightdir", "flightrec", "directory for crash flight-recorder dumps (written on panic, rank failure, and supervisor retries)")
 	faultSpec := flag.String("fault", "", "inject a rank fault (np>1): kill:RANK@STEP or stall:RANK@STEP:SECONDS")
 	maxRetries := flag.Int("max-retries", 2, "relaunch budget when a rank failure hits a checkpointed run")
 	obsSample := flag.Int("obssample", 0, "record 1 of every N port calls (0 or 1 = record all)")
@@ -125,9 +132,10 @@ func main() {
 
 	// One observability session per rank when any consumer asks for it;
 	// with no consumer the interceptor stays off and every hot path runs
-	// exactly as without this build.
+	// exactly as without this build. -serve joins the consumers: its
+	// /metrics and /trace endpoints read the live group.
 	var group *obs.Group
-	if *tracePath != "" || *obsTable || *metricsAddr != "" {
+	if *tracePath != "" || *obsTable || *metricsAddr != "" || *serveAddr != "" {
 		group = obs.NewGroup(*np)
 		if *obsSample > 1 || *obsFloor > 0 {
 			for r := 0; r < group.Size(); r++ {
@@ -170,6 +178,32 @@ func main() {
 		fault = f
 	}
 
+	// The telemetry hub exists when anything consumes it: the live HTTP
+	// plane, the JSONL event log, or fault supervision (whose retries
+	// dump the flight recorder). A nil hub hands out nil rank handles,
+	// and every instrumented site treats those as no-ops.
+	var hub *telemetry.Hub
+	if *serveAddr != "" || *eventsPath != "" || fault != nil {
+		hub = telemetry.NewHub(*np, group)
+		hub.SetFlightDir(*flightDir)
+		if *eventsPath != "" {
+			if err := hub.LogTo(*eventsPath); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+	var telSrv *telemetry.Server
+	if *serveAddr != "" {
+		s, err := telemetry.Serve(*serveAddr, hub)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		telSrv = s
+		fmt.Printf("telemetry on http://%s (/metrics, /healthz, /series, /trace)\n", telSrv.Addr())
+	}
+
 	// With checkpointing requested, the script runs in two phases: the
 	// wiring commands, then WireCheckpoint retrofits a CheckpointComponent
 	// onto the finished assembly, then the "go" commands fire.
@@ -184,31 +218,53 @@ func main() {
 	}
 
 	runOnce := func(restore string, injectFault bool) error {
-		assemble := func(f *cca.Framework, comm *mpi.Comm) error {
-			if group != nil {
-				r := 0
-				if comm != nil {
-					r = comm.Rank()
+		assemble := func(f *cca.Framework, comm *mpi.Comm) (err error) {
+			// Crash flight recorder: a genuine panic (not the substrate's
+			// own world-abort unwind, which the rank runner contains)
+			// dumps the rings before the process dies.
+			defer func() {
+				if rec := recover(); rec != nil {
+					if hub != nil && !mpi.IsAbortPanic(rec) {
+						hub.DumpAll("panic", fmt.Errorf("panic: %v", rec))
+					}
+					panic(rec)
 				}
+			}()
+			r := 0
+			if comm != nil {
+				r = comm.Rank()
+			}
+			if group != nil {
 				f.SetObservability(group.Rank(r))
 			}
-			if !ckptActive {
+			if !ckptActive && hub == nil {
 				return script.Execute(f)
 			}
 			if err := setup.Execute(f); err != nil {
 				return err
 			}
-			if err := core.WireCheckpointOpts(f, core.CheckpointOptions{
-				Every:       *ckptEvery,
-				Dir:         *ckptDir,
-				Restore:     restore,
-				Incremental: *ckptIncremental,
-				FullEvery:   *ckptFullEvery,
-				Compress:    *ckptCompress,
-				Keep:        *ckptKeep,
-				KeepEvery:   *ckptKeepEvery,
-			}); err != nil {
-				return err
+			if ckptActive {
+				if err := core.WireCheckpointOpts(f, core.CheckpointOptions{
+					Every:       *ckptEvery,
+					Dir:         *ckptDir,
+					Restore:     restore,
+					Incremental: *ckptIncremental,
+					FullEvery:   *ckptFullEvery,
+					Compress:    *ckptCompress,
+					Keep:        *ckptKeep,
+					KeepEvery:   *ckptKeepEvery,
+				}); err != nil {
+					return err
+				}
+			}
+			if hub != nil {
+				rk := hub.Rank(r)
+				core.AttachTelemetry(f, rk, comm)
+				if group != nil {
+					// Tee tracer spans into the flight ring so dumps show
+					// the spans leading up to a failure.
+					group.Rank(r).Tracer().SetSink(rk)
+				}
 			}
 			return goPhase.Execute(f)
 		}
@@ -227,13 +283,17 @@ func main() {
 		return nil
 	}
 
+	hub.SetPhase("running")
 	var runErr error
 	if ckptActive {
 		// Supervised execution: a rank failure rolls the job back to the
-		// last durable checkpoint and relaunches (fault fires once).
+		// last durable checkpoint and relaunches (fault fires once). The
+		// hub is the retry notifier: each rank failure dumps the flight
+		// recorder before the rollback.
 		attempt := 0
-		runErr = ckpt.Supervise(*ckptDir, *maxRetries, func(restore string) error {
+		runErr = ckpt.SuperviseNotify(*ckptDir, *maxRetries, hub, func(restore string) error {
 			attempt++
+			hub.StartAttempt(attempt)
 			if attempt == 1 {
 				restore = *restorePath
 			} else {
@@ -247,6 +307,18 @@ func main() {
 		})
 	} else {
 		runErr = runOnce("", true)
+		if runErr != nil && errors.Is(runErr, mpi.ErrRankFailed) {
+			// Unsupervised rank death still leaves a post-mortem.
+			hub.DumpAll("rank-failed", runErr)
+		}
+	}
+	if runErr != nil {
+		hub.SetPhase("failed")
+	} else {
+		hub.SetPhase("done")
+	}
+	if err := hub.CloseLog(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
 	}
 	// Finalize profiles before any error exit: a failed run's profile
 	// is exactly the one worth inspecting.

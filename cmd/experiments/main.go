@@ -247,6 +247,13 @@ func main() {
 			return err
 		}
 		bench.PrintObsTrace(os.Stdout, rep)
+		fmt.Println()
+		tel, err := bench.RunTelemetryStudy()
+		if err != nil {
+			return err
+		}
+		rep.Telemetry = tel
+		bench.PrintTelemetryStudy(os.Stdout, tel)
 		if *obsJSON != "" {
 			data, err := json.MarshalIndent(rep, "", "  ")
 			if err != nil {

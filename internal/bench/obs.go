@@ -1,16 +1,22 @@
 package bench
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"net/http"
 	"sort"
 	"strings"
+	"sync"
 
 	"ccahydro/internal/cca"
+	"ccahydro/internal/components"
 	"ccahydro/internal/core"
 	"ccahydro/internal/mpi"
 	"ccahydro/internal/obs"
+	"ccahydro/internal/telemetry"
 )
 
 // The observability experiment has two halves:
@@ -136,6 +142,9 @@ type ObsTraceReport struct {
 	TotalPortCalls uint64          `json:"totalPortCalls"`
 	HaloFlowPairs  int             `json:"haloFlowPairs"`
 	MaxVirtualTime float64         `json:"maxVirtualTimeSec"`
+	// Telemetry is the live-plane study (RunTelemetryStudy), attached by
+	// the experiments driver so BENCH_obs.json carries both.
+	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
 }
 
 // RunObsTrace executes the pinned instrumented flame and reduces its
@@ -206,4 +215,144 @@ func PrintObsTrace(w io.Writer, rep *ObsTraceReport) {
 	fmt.Fprintf(w, "\nhalo flow pairs (post->completion arrows): %d\n", rep.HaloFlowPairs)
 	fmt.Fprintf(w, "port-call observations across all wires:   %d\n", rep.TotalPortCalls)
 	fmt.Fprintf(w, "simulated run time:                        %.6f s\n", rep.MaxVirtualTime)
+}
+
+// TelemetryReport is the deterministic shape of the telemetry-plane
+// study: the pinned 2-rank flame run twice, once fully detached and
+// once with a Hub and a live HTTP server attached (no client connected
+// during the run — the paper's "monitoring must not perturb the
+// physics" bar). Everything here is algorithm-determined; wall-clock
+// never enters the artifact.
+type TelemetryReport struct {
+	Ranks int `json:"ranks"`
+	Steps int `json:"steps"`
+	// EventCounts are the structured telemetry events the attached run
+	// recorded, by kind (steps, regrids, ...).
+	EventCounts map[string]uint64 `json:"eventCounts"`
+	// SeriesPointsServed is how many NDJSON points one /series?follow=0
+	// request returned after the run — ranks x series x samples.
+	SeriesPointsServed int `json:"seriesPointsServed"`
+	// HealthRanks is the rank count the /healthz document reported.
+	HealthRanks int `json:"healthRanks"`
+	// BitIdentical is the study's verdict: the attached run's final
+	// driver extrema and simulated clock equal the detached run's.
+	BitIdentical bool `json:"bitIdenticalToDetached"`
+}
+
+// telemetryFlameRun executes the pinned flame with an optional hub
+// attached and returns rank 0's final extrema plus the simulated clock.
+func telemetryFlameRun(ranks, steps int, hub *telemetry.Hub) (tmax, tmin, vmax float64, err error) {
+	params := []core.Param{
+		{Instance: "grace", Key: "nx", Value: "24"},
+		{Instance: "grace", Key: "ny", Value: "24"},
+		{Instance: "grace", Key: "maxLevels", Value: "2"},
+		{Instance: "driver", Key: "steps", Value: fmt.Sprint(steps)},
+		{Instance: "driver", Key: "dt", Value: "1e-7"},
+		{Instance: "driver", Key: "regridEvery", Value: "1"},
+	}
+	var mu sync.Mutex
+	res := cca.RunSCMD(ranks, mpi.CPlantModel, core.Repo(), func(f *cca.Framework, comm *mpi.Comm) error {
+		if err := core.AssembleReactionDiffusion(f, params...); err != nil {
+			return err
+		}
+		core.AttachTelemetry(f, hub.Rank(comm.Rank()), comm)
+		if err := f.Go("driver", "go"); err != nil {
+			return err
+		}
+		if comm.Rank() == 0 {
+			comp, err := f.Lookup("driver")
+			if err != nil {
+				return err
+			}
+			dr := comp.(*components.RDDriver)
+			mu.Lock()
+			tmax, tmin = dr.TMax, dr.TMin
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err := res.Err(); err != nil {
+		return 0, 0, 0, err
+	}
+	return tmax, tmin, res.MaxVirtualTime(), nil
+}
+
+// RunTelemetryStudy proves the telemetry plane is free when watched and
+// absent when detached: same flame, hub+server attached vs nothing,
+// and the attached run must land on bit-identical extrema and simulated
+// time. The endpoints are then actually queried (one /healthz, one
+// /series drain) so the artifact also pins the served shape.
+func RunTelemetryStudy() (*TelemetryReport, error) {
+	const ranks, steps = 2, 2
+	rep := &TelemetryReport{Ranks: ranks, Steps: steps}
+
+	plainTMax, plainTMin, plainVMax, err := telemetryFlameRun(ranks, steps, nil)
+	if err != nil {
+		return nil, err
+	}
+
+	hub := telemetry.NewHub(ranks, nil)
+	srv, err := telemetry.Serve("127.0.0.1:0", hub)
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	hub.SetPhase("running")
+	telTMax, telTMin, telVMax, err := telemetryFlameRun(ranks, steps, hub)
+	if err != nil {
+		return nil, err
+	}
+	hub.SetPhase("done")
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		return nil, err
+	}
+	var health telemetry.Health
+	err = json.NewDecoder(resp.Body).Decode(&health)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	rep.HealthRanks = len(health.Ranks)
+
+	resp, err = http.Get("http://" + srv.Addr() + "/series?follow=0")
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) > 0 {
+			rep.SeriesPointsServed++
+		}
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	rep.EventCounts = hub.EventCounts()
+	rep.BitIdentical = telTMax == plainTMax && telTMin == plainTMin && telVMax == plainVMax
+	if !rep.BitIdentical {
+		return nil, fmt.Errorf("telemetry perturbed the run: TMax %v vs %v, TMin %v vs %v, vt %v vs %v",
+			telTMax, plainTMax, telTMin, plainTMin, telVMax, plainVMax)
+	}
+	return rep, nil
+}
+
+// PrintTelemetryStudy renders the telemetry-plane study.
+func PrintTelemetryStudy(w io.Writer, rep *TelemetryReport) {
+	fmt.Fprintf(w, "Telemetry plane: %d-rank flame, %d steps, hub + HTTP server attached vs detached\n\n", rep.Ranks, rep.Steps)
+	var kinds []string
+	for k := range rep.EventCounts {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Fprintf(w, "%-20s %8s\n", "structured event", "count")
+	for _, k := range kinds {
+		fmt.Fprintf(w, "%-20s %8d\n", k, rep.EventCounts[k])
+	}
+	fmt.Fprintf(w, "\n/series points served after the run:  %d\n", rep.SeriesPointsServed)
+	fmt.Fprintf(w, "/healthz ranks reported:              %d\n", rep.HealthRanks)
+	fmt.Fprintf(w, "attached run bit-identical to detached: %v\n", rep.BitIdentical)
 }

@@ -32,6 +32,7 @@ import (
 
 	"ccahydro/internal/mpi"
 	"ccahydro/internal/obs"
+	"ccahydro/internal/telemetry"
 )
 
 // Port is the marker interface for CCA ports. Concrete ports are
@@ -98,6 +99,11 @@ type Services interface {
 	// itself uses it to interpose on port wires. A nil result is safe
 	// to call span helpers on.
 	Observability() *obs.Obs
+
+	// Telemetry returns the rank's live-telemetry handle, or nil when
+	// the telemetry plane is detached (the default). A nil handle
+	// accepts every call as a no-op, so drivers emit events unguarded.
+	Telemetry() *telemetry.Rank
 }
 
 // Sentinel errors returned by framework and services operations.
@@ -214,10 +220,11 @@ func (in *instance) ReleasePort(name string) {
 	}
 }
 
-func (in *instance) Comm() *mpi.Comm         { return in.fw.comm }
-func (in *instance) Parameters() *TypeMap    { return in.params }
-func (in *instance) InstanceName() string    { return in.name }
-func (in *instance) Observability() *obs.Obs { return in.fw.obs }
+func (in *instance) Comm() *mpi.Comm            { return in.fw.comm }
+func (in *instance) Parameters() *TypeMap       { return in.params }
+func (in *instance) InstanceName() string       { return in.name }
+func (in *instance) Observability() *obs.Obs    { return in.fw.obs }
+func (in *instance) Telemetry() *telemetry.Rank { return in.fw.tel }
 
 // Connection describes one live uses→provides wire, for introspection
 // (the GUI "arena" view of Fig 1 rendered as text).
@@ -241,6 +248,9 @@ type Framework struct {
 	// obs is the rank's observability session; nil (the default) keeps
 	// GetPort returning raw provider ports with zero added work.
 	obs *obs.Obs
+	// tel is the rank's live-telemetry handle; nil (the default) keeps
+	// instrumented drivers on the no-op path.
+	tel *telemetry.Rank
 }
 
 // NewFramework creates an empty framework resolving classes against

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"ccahydro/internal/obs"
+	"ccahydro/internal/telemetry"
 )
 
 // Port-call interception. With observability enabled, GetPort hands the
@@ -84,3 +85,12 @@ func (f *Framework) SetObservability(o *obs.Obs) {
 
 // Observability returns the attached session, or nil.
 func (f *Framework) Observability() *obs.Obs { return f.obs }
+
+// SetTelemetry attaches (or, with nil, detaches) the rank's live
+// telemetry handle; components read it through Services.Telemetry().
+// Unlike observability there is nothing to invalidate — the handle is
+// consulted at emit time, not baked into proxies.
+func (f *Framework) SetTelemetry(rk *telemetry.Rank) { f.tel = rk }
+
+// Telemetry returns the attached telemetry handle, or nil.
+func (f *Framework) Telemetry() *telemetry.Rank { return f.tel }

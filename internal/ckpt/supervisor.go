@@ -24,6 +24,21 @@ import (
 // propagate immediately; rank failures beyond maxRetries return the
 // last failure wrapped with the retry count.
 func Supervise(dir string, maxRetries int, attempt func(restore string) error) error {
+	return SuperviseNotify(dir, maxRetries, nil, attempt)
+}
+
+// RetryNotifier observes supervisor decisions: OnRankFailure fires
+// after attempt (1-based) died of a rank failure, before the
+// supervisor rolls back — the hook the telemetry flight recorder uses
+// to dump post-mortem state while it is still fresh. It is also
+// called for the final failure that exhausts the retry budget.
+type RetryNotifier interface {
+	OnRankFailure(attempt int, err error)
+}
+
+// SuperviseNotify is Supervise with a RetryNotifier (nil is allowed
+// and reduces to Supervise).
+func SuperviseNotify(dir string, maxRetries int, notify RetryNotifier, attempt func(restore string) error) error {
 	var err error
 	for try := 0; try <= maxRetries; try++ {
 		restore := ""
@@ -39,6 +54,9 @@ func Supervise(dir string, maxRetries int, attempt func(restore string) error) e
 		}
 		if !errors.Is(err, mpi.ErrRankFailed) {
 			return err
+		}
+		if notify != nil {
+			notify.OnRankFailure(try+1, err)
 		}
 	}
 	return fmt.Errorf("ckpt: giving up after %d retries: %w", maxRetries, err)

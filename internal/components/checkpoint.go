@@ -10,6 +10,7 @@ import (
 	"ccahydro/internal/ckpt"
 	"ccahydro/internal/field"
 	"ccahydro/internal/mpi"
+	"ccahydro/internal/telemetry"
 )
 
 // CheckpointComponent provides the CheckpointPort: periodic durable
@@ -294,8 +295,20 @@ func (cc *CheckpointComponent) save(meta ckpt.Meta) error {
 		// ever judges complete checkpoints.
 		if cc.keep.Enabled() {
 			dir, pol := cc.dir, cc.keep
-			cc.writer.EnqueueFunc(func() error { return ckpt.GC(dir, pol) })
+			tel, step := cc.svc.Telemetry(), meta.Step
+			cc.writer.EnqueueFunc(func() error {
+				if err := ckpt.GC(dir, pol); err != nil {
+					return err
+				}
+				tel.Emit(telemetry.EvCkptGC, step, "")
+				return nil
+			})
 		}
+	}
+	if kind == ckpt.ShardDelta {
+		cc.svc.Telemetry().Emit(telemetry.EvCkptSave, meta.Step, "delta")
+	} else {
+		cc.svc.Telemetry().Emit(telemetry.EvCkptSave, meta.Step, "full")
 	}
 
 	cc.lastStep = meta.Step
@@ -419,10 +432,17 @@ func (cc *CheckpointComponent) Restore(driver string) (*ckpt.Meta, error) {
 	if err != nil {
 		return nil, err
 	}
+	var meta *ckpt.Meta
 	if pOld == size {
-		return cc.restoreExact(mesh, dir, chain, driver, rank, size)
+		meta, err = cc.restoreExact(mesh, dir, chain, driver, rank, size)
+	} else {
+		meta, err = cc.restoreElastic(mesh, dir, chain, driver, rank, size, pOld)
 	}
-	return cc.restoreElastic(mesh, dir, chain, driver, rank, size, pOld)
+	if err != nil {
+		return nil, err
+	}
+	cc.svc.Telemetry().Emit(telemetry.EvCkptRestore, meta.Step, filepath.Base(manifestPath))
+	return meta, nil
 }
 
 // restoreExact is the matching-rank-count path: each rank materializes

@@ -75,11 +75,13 @@ func (dr *IgnitionDriver) run() error {
 	stats.Record("T", T0)
 	stats.Record("P", P0)
 
+	tel := dr.svc.Telemetry()
 	var prevT, prevTime float64 = T0, 0
 	maxRate, tIgn := 0.0, 0.0
 	t := 0.0
 	dt := tEnd / float64(nOut)
 	for k := 1; k <= nOut; k++ {
+		tel.NoteStep(k)
 		t1 := dt * float64(k)
 		if _, err := integ.IntegrateTo(t, t1, y); err != nil {
 			return fmt.Errorf("ignition driver at t=%v: %w", t, err)

@@ -8,6 +8,7 @@ import (
 	"ccahydro/internal/cca"
 	"ccahydro/internal/ckpt"
 	"ccahydro/internal/field"
+	"ccahydro/internal/telemetry"
 )
 
 // rdDriverName tags checkpoints written by this driver; a restore into
@@ -194,6 +195,7 @@ func (dr *RDDriver) run() error {
 	}
 
 	obsSession := dr.svc.Observability()
+	tel := dr.svc.Telemetry()
 	t := 0.0
 	step0 := 0
 	if restored != nil {
@@ -207,6 +209,7 @@ func (dr *RDDriver) run() error {
 		if c := dr.svc.Comm(); c != nil {
 			c.NoteStep(step)
 		}
+		tel.NoteStep(step)
 		var stepSpan func()
 		if obsSession != nil {
 			stepSpan = obsSession.Span("driver", "rd.step "+strconv.Itoa(step))
@@ -240,7 +243,9 @@ func (dr *RDDriver) run() error {
 			stats.Record("cells", float64(mesh.Hierarchy().TotalCells()))
 		}
 		if regrid != nil && regridEvery > 0 && (step+1)%regridEvery == 0 {
-			regrid.EstimateAndRegrid(mesh, name)
+			if regrid.EstimateAndRegrid(mesh, name) {
+				tel.Emit(telemetry.EvRegrid, step, "")
+			}
 		}
 		// Checkpoint last, after the regrid: a continuation computes step
 		// step+1 from exactly the state this iteration hands it.

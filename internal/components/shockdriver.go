@@ -11,6 +11,7 @@ import (
 	"ccahydro/internal/euler"
 	"ccahydro/internal/field"
 	"ccahydro/internal/mpi"
+	"ccahydro/internal/telemetry"
 )
 
 // ShockDriver orchestrates the 2D shock–interface interaction (paper
@@ -138,6 +139,7 @@ func (sd *ShockDriver) run() error {
 	}
 
 	obsSession := sd.svc.Observability()
+	tel := sd.svc.Telemetry()
 	t := 0.0
 	step0 := 0
 	if restored != nil {
@@ -151,6 +153,7 @@ func (sd *ShockDriver) run() error {
 		if c := sd.svc.Comm(); c != nil {
 			c.NoteStep(step)
 		}
+		tel.NoteStep(step)
 		var stepSpan func()
 		if obsSession != nil {
 			stepSpan = obsSession.Span("driver", "shock.step "+strconv.Itoa(step))
@@ -191,7 +194,9 @@ func (sd *ShockDriver) run() error {
 		}
 
 		if regrid != nil && regridEvery > 0 && (step+1)%regridEvery == 0 {
-			regrid.EstimateAndRegrid(mesh, name)
+			if regrid.EstimateAndRegrid(mesh, name) {
+				tel.Emit(telemetry.EvRegrid, step, "")
+			}
 		}
 		// Checkpoint after the regrid so a continuation sees the exact
 		// hierarchy the next step starts from. The circulation series

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"ccahydro/internal/amr"
+	"ccahydro/internal/cca"
+	"ccahydro/internal/mpi"
+	"ccahydro/internal/telemetry"
+)
+
+// hierarchySource is any component exposing its live AMR hierarchy
+// (GrACEComponent does); AttachTelemetry samples Generation through it.
+type hierarchySource interface {
+	Hierarchy() *amr.Hierarchy
+}
+
+// AttachTelemetry wires one rank's telemetry handle into an assembled
+// framework, the live-plane analogue of WireCheckpoint: no existing
+// wire changes, the handle is discovered through Services at emit
+// time. It
+//
+//   - hands the handle to the framework (drivers and the checkpoint
+//     component reach it via Services.Telemetry()),
+//   - points the handle's virtual clock at the rank's communicator and
+//     registers the communicator's fault/failure events with it,
+//   - samples the hierarchy generation from the assembly's mesh
+//     provider, and
+//   - registers any StatisticsComponent as the rank's /series source.
+//
+// Call after the assembly is built (and after WireCheckpoint, if any)
+// and before Go. comm may be nil for serial frameworks; rk may be nil,
+// which detaches everything it would have attached.
+func AttachTelemetry(f *cca.Framework, rk *telemetry.Rank, comm *mpi.Comm) {
+	f.SetTelemetry(rk)
+	if rk == nil {
+		return
+	}
+	if comm != nil {
+		rk.SetClock(comm.VirtualTime)
+		// The substrate sink, not the rank itself: comm events can fire
+		// inside sends while the sender holds component locks, where the
+		// full stamp (which samples the mesh) must not run.
+		comm.SetEvents(rk.Substrate())
+	}
+	for _, name := range f.Instances() {
+		comp, err := f.Lookup(name)
+		if err != nil {
+			continue
+		}
+		if src, ok := comp.(telemetry.SeriesSource); ok {
+			rk.SetSeries(src)
+		}
+		if hs, ok := comp.(hierarchySource); ok {
+			rk.SetGeneration(func() int {
+				if h := hs.Hierarchy(); h != nil {
+					return h.Generation()
+				}
+				return 0
+			})
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"ccahydro/internal/amr"
 	"ccahydro/internal/field"
+	"ccahydro/internal/telemetry"
 )
 
 // TestForEachMatchesSerial checks the determinism contract: a parallel
@@ -430,6 +431,35 @@ func TestEpochHandoffZeroAlloc(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("epoch handoff allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestEpochHandoffZeroAllocTelemetryAttached repeats the epoch-engine
+// allocation gate with the live telemetry plane in the picture: a hub
+// with this rank's handle attached and a per-step NoteStep in the
+// measured body, exactly what an instrumented driver step does around
+// its ForEachChunk calls. The epoch handoff itself has no telemetry
+// emit sites, and the per-step structured event rides the in-place
+// flight ring — the combined loop must still be 0 allocs/op.
+func TestEpochHandoffZeroAllocTelemetryAttached(t *testing.T) {
+	hub := telemetry.NewHub(1, nil)
+	rk := hub.Rank(0)
+	rk.SetClock(func() float64 { return 1.0 })
+	p := NewPool(4)
+	var cells [256]float64
+	fn := func(w, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cells[i] += float64(i)
+		}
+	}
+	p.ForEachChunk(len(cells), fn) // warm up: spawn workers
+	rk.NoteStep(0)                 // warm the event-count map
+	allocs := testing.AllocsPerRun(200, func() {
+		rk.NoteStep(1)
+		p.ForEachChunk(len(cells), fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("telemetry-attached epoch handoff allocates %.1f objects/op, want 0", allocs)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"ccahydro/internal/amr"
 	"ccahydro/internal/mpi"
+	"ccahydro/internal/telemetry"
 )
 
 // raggedBlocks builds a deliberately uneven multi-patch decomposition
@@ -219,13 +220,16 @@ func TestCoalescedParallelMatchesSerial(t *testing.T) {
 // the persistent schedule (two full exchanges: the first builds plan,
 // pack buffers, and requests; the second primes the substrate's payload
 // free list) before the function returns. stop tears the cohort down.
-func lockstepExchangers(p int, blocks []amr.Box, owners []int) (step func(), stop func()) {
+func lockstepExchangers(p int, blocks []amr.Box, owners []int, attach ...func(*mpi.Comm)) (step func(), stop func()) {
 	start := make([]chan struct{}, p)
 	for r := range start {
 		start[r] = make(chan struct{})
 	}
 	done := make(chan struct{}, p)
 	go mpi.Run(p, mpi.CPlantModel, func(comm *mpi.Comm) {
+		for _, a := range attach {
+			a(comm)
+		}
 		h := amr.NewHierarchyDecomposed(amr.NewBox(0, 0, 23, 23), 2, 1, p, blocks, owners)
 		d := New("u", h, 2, 2, comm)
 		paintOwned(d, 0)
@@ -269,6 +273,28 @@ func TestExchangeGhostsSteadyStateZeroAlloc(t *testing.T) {
 	// function, so any allocation anywhere in the exchange shows up.
 	if avg := testing.AllocsPerRun(10, step); avg > 0 {
 		t.Errorf("steady-state exchange allocates %.1f objects per round, want 0", avg)
+	}
+}
+
+// TestExchangeGhostsZeroAllocTelemetryAttached repeats the steady-state
+// allocation gate with the live telemetry plane wired to every rank's
+// communicator (clock sampler + substrate event sink, exactly what
+// ccarun -serve attaches). The exchange hot path has no telemetry emit
+// sites, and the attached sink must not change that: still 0 allocs per
+// round.
+func TestExchangeGhostsZeroAllocTelemetryAttached(t *testing.T) {
+	const p = 4
+	hub := telemetry.NewHub(p, nil)
+	blocks, owners := raggedBlocks(24, p)
+	step, stop := lockstepExchangers(p, blocks, owners, func(comm *mpi.Comm) {
+		rk := hub.Rank(comm.Rank())
+		rk.SetClock(comm.VirtualTime)
+		comm.SetEvents(rk.Substrate())
+		rk.NoteStep(0)
+	})
+	defer stop()
+	if avg := testing.AllocsPerRun(10, step); avg > 0 {
+		t.Errorf("telemetry-attached exchange allocates %.1f objects per round, want 0", avg)
 	}
 }
 

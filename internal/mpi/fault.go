@@ -74,6 +74,32 @@ func (e *FaultError) Unwrap() error { return ErrRankFailed }
 // panic keeps crashing the process.
 type abortSignal struct{ err error }
 
+// IsAbortPanic reports whether a recovered panic value is the
+// substrate's own unwind signal. Outer recover handlers (a crash
+// flight recorder, say) use it to tell a controlled world abort —
+// which the rank runner handles itself — from a genuine crash.
+func IsAbortPanic(rec any) bool {
+	_, ok := rec.(*abortSignal)
+	return ok
+}
+
+// EventSink receives structured notifications of substrate-level
+// events: fault injections firing and rank failures. The live
+// telemetry plane implements it; the substrate itself stays
+// observability-agnostic. step is -1 when the event is not tied to a
+// driver step the substrate knows about. Implementations must be
+// safe to call from the failing rank's goroutine mid-unwind.
+type EventSink interface {
+	Emit(kind string, step int, detail string)
+}
+
+// SetEvents attaches an event sink to this rank's communicator. Call
+// before the run starts; a nil-handle-free assignment keeps the
+// detached path a single pointer test.
+func (c *Comm) SetEvents(sink EventSink) {
+	c.events = sink
+}
+
 // InjectFault arms one fault on the world. Call before launching rank
 // bodies; at most one fault is armed at a time and it fires once.
 func (w *World) InjectFault(f Fault) {
@@ -148,6 +174,9 @@ func (w *World) takeFault(rank int, match func(*Fault) bool) *Fault {
 
 // trigger executes a claimed fault on the calling rank.
 func (c *Comm) trigger(f *Fault, at string) {
+	if c.events != nil {
+		c.events.Emit("fault.inject", -1, fmt.Sprintf("%s at %s", f.Kind, at))
+	}
 	if f.Kind == FaultStall {
 		c.world.clocks[c.rank].add(f.StallSeconds)
 		return

@@ -319,6 +319,10 @@ type Comm struct {
 	// tracer, when non-nil, receives flight slices and flow events for
 	// every point-to-point message (see obs.go).
 	tracer *obs.Tracer
+
+	// events, when non-nil, receives fault-injection and rank-failure
+	// notifications (see fault.go EventSink).
+	events EventSink
 }
 
 // Rank returns this endpoint's logical rank in [0, Size).
@@ -802,7 +806,10 @@ func RunOn(w *World, body func(*Comm)) *World {
 			defer wg.Done()
 			defer func() {
 				if rec := recover(); rec != nil {
-					if _, ok := rec.(*abortSignal); ok {
+					if sig, ok := rec.(*abortSignal); ok {
+						if cm.events != nil {
+							cm.events.Emit("rank.failed", -1, sig.err.Error())
+						}
 						return
 					}
 					panic(rec)

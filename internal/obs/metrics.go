@@ -385,10 +385,28 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 // PortCallBase is the base metric name of every interceptor histogram.
 const PortCallBase = "port_call_seconds"
 
+// labelEscaper escapes a Prometheus label value per the text
+// exposition format: backslash, double quote, and newline.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// EscapeLabelValue escapes s for use inside a quoted Prometheus label
+// value. The common no-escape case returns s unchanged, allocation-
+// free.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	return labelEscaper.Replace(s)
+}
+
 // PortCallName builds the interceptor histogram name for one
-// (instance, port, method) wire crossing.
+// (instance, port, method) wire crossing. Label values are escaped,
+// so foreign component names with quotes or backslashes cannot break
+// the exposition format.
 func PortCallName(instance, port, method string) string {
-	return PortCallBase + `{instance="` + instance + `",port="` + port + `",method="` + method + `"}`
+	return PortCallBase + `{instance="` + EscapeLabelValue(instance) +
+		`",port="` + EscapeLabelValue(port) +
+		`",method="` + EscapeLabelValue(method) + `"}`
 }
 
 // WriteCallTable renders the interceptor's port-call histograms as a

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// The Prometheus text exporter was previously exercised only through
+// end-to-end runs; these tests pin its format contract directly:
+// escaping, histogram bucket cumulativity, and deterministic ordering.
+
+func promText(r *Registry) string {
+	var sb strings.Builder
+	r.Snapshot().WritePrometheus(&sb)
+	return sb.String()
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`say "hi"`, `say \"hi\"`},
+		{"two\nlines", `two\nlines`},
+		{`all\"` + "\n", `all\\\"\n`},
+	}
+	for _, c := range cases {
+		if got := EscapeLabelValue(c.in); got != c.want {
+			t.Errorf("EscapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPortCallNameEscapes(t *testing.T) {
+	name := PortCallName(`drv"er`, "go", "Go")
+	want := PortCallBase + `{instance="drv\"er",port="go",method="Go"}`
+	if name != want {
+		t.Fatalf("PortCallName = %q, want %q", name, want)
+	}
+}
+
+func TestWritePrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`latency_seconds{op="x"}`)
+	h.Observe(1e-6) // tiny bucket
+	h.Observe(1e-6)
+	h.Observe(0.5) // much larger bucket
+	out := promText(r)
+
+	if !strings.Contains(out, "# TYPE latency_seconds histogram\n") {
+		t.Fatalf("missing TYPE line:\n%s", out)
+	}
+	// Bucket lines must be cumulative and end with +Inf == count.
+	var lines []string
+	for _, ln := range strings.Split(out, "\n") {
+		if strings.HasPrefix(ln, "latency_seconds_bucket") {
+			lines = append(lines, ln)
+		}
+	}
+	if len(lines) < 3 {
+		t.Fatalf("want >= 3 bucket lines (2 finite + +Inf), got %d:\n%s", len(lines), out)
+	}
+	wantCum := []string{" 2", " 3", " 3"} // 2 tiny, then 2+1 cumulative, then +Inf
+	for i, ln := range lines {
+		if !strings.HasSuffix(ln, wantCum[i]) {
+			t.Fatalf("bucket line %d = %q, want suffix %q", i, ln, wantCum[i])
+		}
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `le="+Inf"`) {
+		t.Fatalf("last bucket is not +Inf: %q", last)
+	}
+	if !strings.Contains(out, `latency_seconds_count{op="x"} 3`) {
+		t.Fatalf("missing _count line:\n%s", out)
+	}
+	if !strings.Contains(out, `latency_seconds_sum{op="x"}`) {
+		t.Fatalf("missing _sum line:\n%s", out)
+	}
+	// The le label must splice into the existing block, not replace it.
+	if !strings.Contains(lines[0], `{op="x",le="`) {
+		t.Fatalf("le label not spliced into label block: %q", lines[0])
+	}
+}
+
+func TestWritePrometheusTypeLineDeduped(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(PortCallName("a", "p", "m")).Observe(1e-6)
+	r.Histogram(PortCallName("b", "p", "m")).Observe(1e-6)
+	out := promText(r)
+	if n := strings.Count(out, "# TYPE "+PortCallBase+" histogram"); n != 1 {
+		t.Fatalf("TYPE line emitted %d times for one base name, want 1:\n%s", n, out)
+	}
+}
+
+func TestWritePrometheusDeterministicOrdering(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter("c_" + n).Inc()
+			r.Gauge("g_" + n).Set(1)
+			r.Histogram("h_" + n).Observe(1e-3)
+		}
+		return promText(r)
+	}
+	a := build([]string{"z", "m", "a"})
+	b := build([]string{"a", "z", "m"})
+	if a != b {
+		t.Fatalf("output depends on registration order:\n--- a ---\n%s--- b ---\n%s", a, b)
+	}
+	// And names appear sorted within each instrument family.
+	iz := strings.Index(a, "c_z")
+	ia := strings.Index(a, "c_a")
+	if ia < 0 || iz < 0 || ia > iz {
+		t.Fatalf("counter names not sorted:\n%s", a)
+	}
+}

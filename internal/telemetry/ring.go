@@ -1,0 +1,90 @@
+package telemetry
+
+import "sync/atomic"
+
+// The flight ring is a fixed-size lock-free MPMC ring of the most
+// recent Events. Writers never block and never wait on readers: a
+// writer that catches a slot still owned by a lapped writer sheds the
+// event instead of stalling — a flight recorder's job is "most recent
+// history, cheaply", not lossless capture (the JSONL event log is the
+// lossless channel).
+//
+// Protocol, per slot s at ring position pos:
+//
+//	s.seq == pos            slot free for the writer claiming pos
+//	s.seq == ringBusy       writer mid-copy
+//	s.seq == pos+ringSize   slot holds generation pos's event
+//
+// A writer claims pos by CAS on head, marks the slot busy, copies,
+// then publishes pos+ringSize. A reader accepts a slot only when seq
+// reads pos+ringSize both before and after copying the event out, so
+// any overlapping rewrite (which passes through ringBusy) is
+// detected and the slot skipped.
+const (
+	ringSize = 1024 // power of two
+	ringMask = ringSize - 1
+)
+
+const ringBusy = ^uint64(0)
+
+type ringSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+type ring struct {
+	head  atomic.Uint64
+	slots [ringSize]ringSlot
+}
+
+// init seeds each slot's sequence with its own index so generation 0
+// writers find their slots free.
+func (r *ring) init() {
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+}
+
+// put appends ev, overwriting the oldest entry once full. Wait-free
+// for the common single-writer-per-rank case; under contention an
+// event racing a lapped slot is dropped.
+func (r *ring) put(ev Event) {
+	for {
+		pos := r.head.Load()
+		s := &r.slots[pos&ringMask]
+		if s.seq.Load() != pos {
+			return // lapped writer still owns the slot: shed, don't stall
+		}
+		if r.head.CompareAndSwap(pos, pos+1) {
+			s.seq.Store(ringBusy)
+			s.ev = ev
+			s.seq.Store(pos + ringSize)
+			return
+		}
+	}
+}
+
+// snapshot returns up to the last ringSize events, oldest first.
+// Slots mid-write (or rewritten during the copy) are skipped, so the
+// result is exact once writers have quiesced and merely recent while
+// they race.
+func (r *ring) snapshot() []Event {
+	head := r.head.Load()
+	n := uint64(ringSize)
+	if head < n {
+		n = head
+	}
+	out := make([]Event, 0, n)
+	for pos := head - n; pos < head; pos++ {
+		s := &r.slots[pos&ringMask]
+		if s.seq.Load() != pos+ringSize {
+			continue
+		}
+		ev := s.ev
+		if s.seq.Load() != pos+ringSize {
+			continue
+		}
+		out = append(out, ev)
+	}
+	return out
+}

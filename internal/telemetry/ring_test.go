@@ -1,0 +1,74 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRingPutSnapshotInOrder(t *testing.T) {
+	var r ring
+	r.init()
+	for i := 0; i < 10; i++ {
+		r.put(Event{Seq: uint64(i + 1), Kind: EvStep, Step: i})
+	}
+	evs := r.snapshot()
+	if len(evs) != 10 {
+		t.Fatalf("snapshot returned %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Step != i {
+			t.Fatalf("event %d has step %d, want %d (oldest-first order)", i, ev.Step, i)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	var r ring
+	r.init()
+	total := ringSize + 100
+	for i := 0; i < total; i++ {
+		r.put(Event{Seq: uint64(i + 1), Step: i})
+	}
+	evs := r.snapshot()
+	if len(evs) != ringSize {
+		t.Fatalf("snapshot returned %d events, want %d", len(evs), ringSize)
+	}
+	if first := evs[0].Step; first != total-ringSize {
+		t.Fatalf("oldest surviving step = %d, want %d", first, total-ringSize)
+	}
+	if last := evs[len(evs)-1].Step; last != total-1 {
+		t.Fatalf("newest step = %d, want %d", last, total-1)
+	}
+}
+
+// TestRingConcurrentPut hammers the ring from many writers, then
+// snapshots after quiescing: every surviving event must be intact (its
+// Detail consistent with its Step), whatever was shed under lapping.
+func TestRingConcurrentPut(t *testing.T) {
+	var r ring
+	r.init()
+	const writers = 8
+	const perWriter = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				step := w*perWriter + i
+				r.put(Event{Step: step, Detail: fmt.Sprintf("d%d", step)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := r.snapshot()
+	if len(evs) == 0 {
+		t.Fatal("empty snapshot after concurrent puts")
+	}
+	for _, ev := range evs {
+		if want := fmt.Sprintf("d%d", ev.Step); ev.Detail != want {
+			t.Fatalf("torn event: step %d has detail %q", ev.Step, ev.Detail)
+		}
+	}
+}

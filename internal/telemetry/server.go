@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// SeriesPoint is one NDJSON line of the /series stream: sample Index
+// of series Key on rank Rank. Index makes the stream resumable — a
+// reconnecting client can discard duplicates.
+type SeriesPoint struct {
+	Rank  int     `json:"rank"`
+	Key   string  `json:"key"`
+	Index int     `json:"index"`
+	Value float64 `json:"value"`
+}
+
+// Server is the live telemetry HTTP endpoint set over one Hub:
+//
+//	/metrics  Prometheus text exposition of the merged obs registries
+//	/healthz  JSON Health: phase, step, last checkpoint, rank liveness
+//	          (503 when the run failed or a rank is down)
+//	/series   NDJSON stream of StatisticsComponent samples as steps
+//	          complete; ?follow=0 for a non-blocking drain
+//	/trace    Chrome-trace snapshot of the live tracer rings
+type Server struct {
+	hub *Hub
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the telemetry server on addr (e.g. ":8080" or
+// "127.0.0.1:0") and returns once the listener is bound.
+func Serve(addr string, hub *Hub) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{hub: hub, ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/series", s.series)
+	mux.HandleFunc("/trace", s.trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and drops open connections (streaming
+// /series followers included).
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	g := s.hub.Group()
+	if g == nil {
+		http.Error(w, "telemetry: no metrics group attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	g.MergedSnapshot().WritePrometheus(w)
+}
+
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.hub.Health()
+	code := http.StatusOK
+	if h.Phase == "failed" {
+		code = http.StatusServiceUnavailable
+	}
+	for _, r := range h.Ranks {
+		if !r.Alive {
+			code = http.StatusServiceUnavailable
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}
+
+func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
+	g := s.hub.Group()
+	if g == nil {
+		http.Error(w, "telemetry: no tracer attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	g.WriteTrace(w)
+}
+
+// series streams StatisticsComponent samples as NDJSON. Each
+// (rank, key) pair keeps a cursor, so every sample is emitted exactly
+// once per connection, in append order, as it lands — the hub's
+// watch channel wakes the handler on every structured event (steps
+// record samples) and a coarse ticker bounds the worst-case latency.
+// The stream ends when the run reaches a terminal phase, the client
+// disconnects, or immediately after one drain with ?follow=0.
+func (s *Server) series(w http.ResponseWriter, r *http.Request) {
+	follow := r.URL.Query().Get("follow") != "0"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	type cursor struct {
+		rank int
+		key  string
+	}
+	cursors := map[cursor]int{}
+	emit := func() {
+		for rank := 0; rank < s.hub.NumRanks(); rank++ {
+			src := s.hub.Rank(rank).Series()
+			if src == nil {
+				continue
+			}
+			for _, k := range src.Keys() {
+				c := cursor{rank, k}
+				base := cursors[c]
+				vals := src.GetSince(k, base)
+				for i, v := range vals {
+					enc.Encode(SeriesPoint{Rank: rank, Key: k, Index: base + i, Value: v})
+				}
+				cursors[c] += len(vals)
+			}
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+	}
+
+	watch, cancel := s.hub.Watch()
+	defer cancel()
+	last := ^uint64(0) // force the first scan
+	for {
+		if s.hub.Finished() {
+			emit() // terminal phase was set after the last sample: final drain is complete
+			return
+		}
+		if v := s.hub.seriesVersion(); v != last {
+			last = v
+			emit()
+		}
+		if !follow {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-watch:
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}

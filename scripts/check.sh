@@ -8,6 +8,9 @@
 # elastic-restore matrix (all {1,2,4}->{1,2,4} pairs) and the
 # delta-chain crash torture tests. internal/exec also asserts the
 # steady-state epoch handoff allocates nothing (TestEpochHandoffZeroAlloc).
+# The race list includes internal/telemetry (lock-free flight ring,
+# hub fan-out) and a final smoke pass drives the live HTTP endpoints
+# against a real 4-rank run (TestTelemetryEndpointsLiveFlame).
 # Run from the repo root:
 #
 #   sh scripts/check.sh
@@ -42,6 +45,9 @@ go test ./...
 echo "== go test -race (epoch engine + drivers + message substrate + observability + checkpoint)"
 go test -race ./internal/exec/... ./internal/components/... ./internal/core/... \
 	./internal/mpi/... ./internal/field/... ./internal/obs/... ./internal/cca/... \
-	./internal/ckpt/... ./internal/chem/... ./internal/rkc/...
+	./internal/ckpt/... ./internal/chem/... ./internal/rkc/... ./internal/telemetry/...
+
+echo "== telemetry endpoint smoke (live /metrics /healthz /series /trace on a 4-rank run)"
+go test -run 'TestTelemetryEndpointsLiveFlame|TestTelemetryFaultFlightRecorder' -count=1 ./internal/core/
 
 echo "OK"
