@@ -1,0 +1,73 @@
+// Command ccaserve is the long-lived simulation-as-a-service daemon:
+// it multiplexes many concurrent paper assemblies (ignition, flame,
+// shock) over one shared worker pool behind an HTTP/JSON API with
+// priority scheduling, checkpoint-boundary preemption, elastic resume,
+// and content-addressed run dedup.
+//
+//	ccaserve -addr 127.0.0.1:8080 -slots 8 -dir ccaserve-data
+//
+//	curl -X POST localhost:8080/jobs -d '{"problem":"flame","priority":"high","ranks":2}'
+//	curl localhost:8080/jobs/job-0001
+//	curl -N localhost:8080/jobs/job-0001/series
+//	curl -X POST localhost:8080/jobs/job-0001/cancel
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ccahydro/internal/mpi"
+	"ccahydro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	slots := flag.Int("slots", 4, "rank-slot capacity shared by all running jobs")
+	dir := flag.String("dir", "ccaserve-data", "state root (checkpoints and the content-addressed result store); empty for ephemeral")
+	network := flag.String("network", "cplant", "virtual network model: cplant, fastethernet, zero")
+	maxRetries := flag.Int("max-retries", 2, "rank-failure relaunch budget per job admission")
+	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
+	flag.Parse()
+
+	model := mpi.CPlantModel
+	switch *network {
+	case "fastethernet":
+		model = mpi.FastEthernetModel
+	case "zero":
+		model = mpi.ZeroModel
+	}
+
+	sched, err := serve.NewScheduler(serve.Options{
+		Slots:      *slots,
+		Dir:        *dir,
+		Model:      model,
+		MaxRetries: *maxRetries,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	srv, err := serve.Listen(*addr, sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("ccaserve listening on http://%s (%d slots)\n", srv.Addr(), *slots)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("ccaserve: draining (running jobs stop at their next checkpoint)")
+	ctx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		srv.Close()
+		fmt.Fprintln(os.Stderr, "ccaserve:", err)
+		os.Exit(1)
+	}
+}

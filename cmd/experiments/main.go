@@ -14,6 +14,7 @@
 //	experiments -exp ckpt           # checkpoint/restart + fault-recovery study
 //	experiments -exp chem           # generated-kernel vs interpreted chemistry study
 //	experiments -exp pool           # epoch-engine dispatch + strip-interleave study
+//	experiments -exp serve          # run-server throughput + content-addressed dedup study
 //	experiments -exp all            # everything
 //
 // -quick shrinks the parameter sweeps for a fast sanity pass. -commjson
@@ -41,7 +42,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, ckpt, chem, pool, all")
+	exp := flag.String("exp", "all", "experiment id: table4, table5, fig3, fig4, fig6, fig7, fig8, fig9, netsweep, comm, obs, ckpt, chem, pool, serve, all")
 	quick := flag.Bool("quick", false, "reduced sweeps for a fast pass")
 	dump := flag.String("dump", "", "directory for CSV/PGM field dumps (fig3, fig4, fig6)")
 	commJSON := flag.String("commjson", "", "path for the comm study JSON artifact (exp comm)")
@@ -50,6 +51,7 @@ func main() {
 	ckptJSON := flag.String("ckptjson", "", "path for the checkpoint study JSON artifact (exp ckpt)")
 	chemJSON := flag.String("chemjson", "", "path for the chemistry-kernel study JSON artifact (exp chem)")
 	poolJSON := flag.String("pooljson", "", "path for the pool dispatch study JSON artifact (exp pool)")
+	serveJSON := flag.String("servejson", "", "path for the run-server study JSON artifact (exp serve)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -318,6 +320,25 @@ func main() {
 				return err
 			}
 			fmt.Printf("wrote %s\n", *poolJSON)
+		}
+		return nil
+	})
+
+	run("serve", func() error {
+		rep, err := bench.BuildServeReport(*quick)
+		if err != nil {
+			return err
+		}
+		bench.PrintServeReport(os.Stdout, rep)
+		if *serveJSON != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*serveJSON, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *serveJSON)
 		}
 		return nil
 	})

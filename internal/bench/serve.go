@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"ccahydro/internal/serve"
+)
+
+// Serve benchmark: the run-server's throughput and the value of
+// content-addressed dedup. A cold pass pushes N distinct ignition
+// jobs through a shared scheduler; a hit pass resubmits the identical
+// specs and must be served entirely from the result store; a warm
+// pass extends a short flame run and must restart from the shared
+// checkpoint prefix. Wall-clock rates are informative (host-
+// dependent); the step/hit counts are the deterministic claims.
+
+// ServeReport is the BENCH_serve.json artifact.
+type ServeReport struct {
+	Jobs  int `json:"jobs"`
+	Slots int `json:"slots"`
+
+	// Cold pass: N distinct jobs, all computed.
+	ColdWallSeconds float64 `json:"cold_wall_seconds"`
+	ColdJobsPerSec  float64 `json:"cold_jobs_per_sec"`
+	ColdSteps       int     `json:"cold_steps"` // live driver steps, deterministic
+
+	// Hit pass: the same N specs, all served from the store.
+	HitWallSeconds float64 `json:"hit_wall_seconds"`
+	HitJobsPerSec  float64 `json:"hit_jobs_per_sec"`
+	HitSteps       int     `json:"hit_steps"` // must be 0
+	CacheHits      int     `json:"cache_hits"`
+	// HitSpeedup is cold wall over hit wall — what dedup buys.
+	HitSpeedup float64 `json:"hit_speedup"`
+
+	// Warm pass: flame steps=2 then steps=4. The extension restarts
+	// from the short run's last checkpoint: WarmSteps counts only the
+	// continuation, FullSteps the cold full-length run.
+	FullSteps int  `json:"full_steps"`
+	WarmSteps int  `json:"warm_steps"`
+	WarmStart bool `json:"warm_start"`
+}
+
+func ignitionSpec(i int) serve.Spec {
+	return serve.Spec{
+		Problem: "ignition",
+		Params: map[string]map[string]string{
+			"driver": {"tEnd": fmt.Sprintf("%de-6", 100+i), "nOut": "5"},
+		},
+	}
+}
+
+func flameBenchSpec(steps int) serve.Spec {
+	return serve.Spec{
+		Problem: "flame",
+		Params: map[string]map[string]string{
+			"grace":  {"nx": "16", "ny": "16", "maxLevels": "2"},
+			"driver": {"steps": strconv.Itoa(steps), "dt": "1e-7", "regridEvery": "2"},
+		},
+	}
+}
+
+// runBatch submits every spec and waits for all of them, returning
+// (wall seconds, total live steps, cache hits).
+func runBatch(s *serve.Scheduler, specs []serve.Spec) (float64, int, int, error) {
+	start := time.Now()
+	jobs := make([]*serve.Job, 0, len(specs))
+	for _, sp := range specs {
+		j, err := s.Submit(sp)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		jobs = append(jobs, j)
+	}
+	steps, hits := 0, 0
+	for _, j := range jobs {
+		<-j.Done()
+		st, _ := s.Get(j.ID, false)
+		if st.State != serve.StateDone {
+			return 0, 0, 0, fmt.Errorf("bench: job %s ended %s: %s", j.ID, st.State, st.Error)
+		}
+		steps += st.StepsRun
+		if st.CacheHit {
+			hits++
+		}
+	}
+	return time.Since(start).Seconds(), steps, hits, nil
+}
+
+// BuildServeReport runs the study. quick shrinks the job count.
+func BuildServeReport(quick bool) (*ServeReport, error) {
+	n := 12
+	if quick {
+		n = 4
+	}
+	dir, err := os.MkdirTemp("", "bench-serve-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	s, err := serve.NewScheduler(serve.Options{Slots: 4, Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	rep := &ServeReport{Jobs: n, Slots: 4}
+	specs := make([]serve.Spec, n)
+	for i := range specs {
+		specs[i] = ignitionSpec(i)
+	}
+	if rep.ColdWallSeconds, rep.ColdSteps, _, err = runBatch(s, specs); err != nil {
+		return nil, err
+	}
+	if rep.HitWallSeconds, rep.HitSteps, rep.CacheHits, err = runBatch(s, specs); err != nil {
+		return nil, err
+	}
+	rep.ColdJobsPerSec = float64(n) / rep.ColdWallSeconds
+	rep.HitJobsPerSec = float64(n) / rep.HitWallSeconds
+	rep.HitSpeedup = rep.ColdWallSeconds / rep.HitWallSeconds
+
+	// Warm-start pass: a short flame run seeds the checkpoint lineage,
+	// the full-length run continues it; the cold full-length reference
+	// runs in a separate state root.
+	refDir, err := os.MkdirTemp("", "bench-serve-ref-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(refDir)
+	ref, err := serve.NewScheduler(serve.Options{Slots: 4, Dir: refDir})
+	if err != nil {
+		return nil, err
+	}
+	defer ref.Close()
+	if _, rep.FullSteps, _, err = runBatch(ref, []serve.Spec{flameBenchSpec(4)}); err != nil {
+		return nil, err
+	}
+	if _, _, _, err = runBatch(s, []serve.Spec{flameBenchSpec(2)}); err != nil {
+		return nil, err
+	}
+	j, err := s.Submit(flameBenchSpec(4))
+	if err != nil {
+		return nil, err
+	}
+	<-j.Done()
+	st, _ := s.Get(j.ID, false)
+	if st.State != serve.StateDone {
+		return nil, fmt.Errorf("bench: warm flame ended %s: %s", st.State, st.Error)
+	}
+	rep.WarmSteps = st.StepsRun
+	rep.WarmStart = st.WarmStart
+	return rep, nil
+}
+
+// PrintServeReport renders the study as a table.
+func PrintServeReport(w io.Writer, rep *ServeReport) {
+	fmt.Fprintf(w, "\nRun-server study: %d ignition jobs over %d slots\n", rep.Jobs, rep.Slots)
+	fmt.Fprintf(w, "  %-22s %10s %12s %10s\n", "pass", "wall (s)", "jobs/sec", "steps")
+	fmt.Fprintf(w, "  %-22s %10.3f %12.1f %10d\n", "cold (all computed)", rep.ColdWallSeconds, rep.ColdJobsPerSec, rep.ColdSteps)
+	fmt.Fprintf(w, "  %-22s %10.3f %12.1f %10d\n", "resubmit (all hits)", rep.HitWallSeconds, rep.HitJobsPerSec, rep.HitSteps)
+	fmt.Fprintf(w, "  cache hits %d/%d, dedup speedup %.0fx\n", rep.CacheHits, rep.Jobs, rep.HitSpeedup)
+	fmt.Fprintf(w, "  flame extension: %d live steps warm (cold full run: %d), warmStart=%v\n",
+		rep.WarmSteps, rep.FullSteps, rep.WarmStart)
+}

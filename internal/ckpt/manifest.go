@@ -268,6 +268,15 @@ func ResolveChain(path string) ([]ChainLink, error) {
 // ones. It returns the manifest path and step, or ok=false when none
 // survives.
 func LatestValid(dir string) (path string, step int, ok bool) {
+	return LatestValidAtMost(dir, int(^uint(0)>>1))
+}
+
+// LatestValidAtMost is LatestValid restricted to checkpoints at step
+// maxStep or earlier — the probe a content-addressed run store uses to
+// find the longest shared checkpoint prefix a shorter resubmission can
+// legally restart from (a checkpoint past the requested run length
+// describes state the shorter run never reaches).
+func LatestValidAtMost(dir string, maxStep int) (path string, step int, ok bool) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return "", 0, false
@@ -285,7 +294,9 @@ func LatestValid(dir string) (path string, step int, ok bool) {
 		if err != nil {
 			continue
 		}
-		return p, chain[len(chain)-1].Manifest.Step, true
+		if s := chain[len(chain)-1].Manifest.Step; s <= maxStep {
+			return p, s, true
+		}
 	}
 	return "", 0, false
 }

@@ -67,6 +67,7 @@ type CheckpointComponent struct {
 	dir         string
 	restore     string
 	writer      *ckpt.Writer
+	preempt     *ckpt.Gate
 
 	// Incremental-save state. lastStep/lastHier are replicated across
 	// ranks (driven by replicated inputs); lastID is only maintained
@@ -182,10 +183,51 @@ func (cc *CheckpointComponent) fingerprints(mesh checkpointMesh) map[patchKey]ui
 	return prints
 }
 
+// SetPreempt installs a scheduler's preemption gate. It cannot be a
+// string parameter, so run servers set it programmatically (through
+// core.CheckpointOptions) after instantiation, before Go.
+func (cc *CheckpointComponent) SetPreempt(g *ckpt.Gate) { cc.preempt = g }
+
+// preemptRequested turns the gate's asynchronous flag into a collective
+// decision: rank 0's reading is broadcast, so every rank of the cohort
+// agrees on the exact step the job stops at (ranks race the flag flip
+// individually — one rank proceeding to step s+1 while another saves
+// and unwinds at s would wedge the save's gather).
+func (cc *CheckpointComponent) preemptRequested() bool {
+	if cc.preempt == nil {
+		return false
+	}
+	c := cc.comm()
+	if c == nil || c.Size() == 1 {
+		return cc.preempt.Requested()
+	}
+	v := 0.0
+	if c.Rank() == 0 && cc.preempt.Requested() {
+		v = 1
+	}
+	return c.Bcast(0, []float64{v})[0] != 0
+}
+
 // SaveIfDue implements CheckpointPort. meta.Step is the 0-based step
 // just completed; the checkpoint captures the state a continuation
 // would compute step meta.Step+1 from.
+//
+// When a preemption gate is armed, the cadence is overridden: the
+// component forces a full-fidelity save at this step boundary, drains
+// the async writer so the manifest is durable before anyone can look
+// for it, and unwinds the run with ckpt.ErrPreempted. The scheduler
+// that armed the gate resumes the job later from ckpt.LatestValid —
+// elastically, if the new cohort has a different rank count.
 func (cc *CheckpointComponent) SaveIfDue(meta ckpt.Meta) error {
+	if cc.preemptRequested() {
+		if err := cc.save(meta); err != nil {
+			return err
+		}
+		if err := cc.writer.Flush(); err != nil {
+			return err
+		}
+		return fmt.Errorf("checkpoint: stopped at step %d: %w", meta.Step, ckpt.ErrPreempted)
+	}
 	if cc.every <= 0 || (meta.Step+1)%cc.every != 0 {
 		return nil
 	}

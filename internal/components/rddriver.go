@@ -204,6 +204,23 @@ func (dr *RDDriver) run() error {
 		if cs, ok := cellChem.(CounterSource); ok && restored.Counters != nil {
 			cs.RestoreCounters(restored.Counters)
 		}
+		// Reinstate the per-step history (it rides in Meta.Series), and
+		// replay it into the statistics port so a resumed run's series —
+		// including the live /series stream — covers the whole job, not
+		// just the steps after the restore point.
+		dr.StepSeconds = append([]float64(nil), restored.Series["stepSeconds"]...)
+		dr.CellsPerStep = dr.CellsPerStep[:0]
+		for _, v := range restored.Series["cells"] {
+			dr.CellsPerStep = append(dr.CellsPerStep, int(v))
+		}
+		if stats != nil {
+			for i := range dr.StepSeconds {
+				stats.Record("stepSeconds", dr.StepSeconds[i])
+				if i < len(dr.CellsPerStep) {
+					stats.Record("cells", float64(dr.CellsPerStep[i]))
+				}
+			}
+		}
 	}
 	for step := step0; step < steps; step++ {
 		if c := dr.svc.Comm(); c != nil {
@@ -248,9 +265,15 @@ func (dr *RDDriver) run() error {
 			}
 		}
 		// Checkpoint last, after the regrid: a continuation computes step
-		// step+1 from exactly the state this iteration hands it.
+		// step+1 from exactly the state this iteration hands it. The
+		// per-step series ride along so a restore reinstates them.
 		if ck != nil {
-			meta := ckpt.Meta{Driver: rdDriverName, Step: step, Time: t}
+			cells := make([]float64, len(dr.CellsPerStep))
+			for i, c := range dr.CellsPerStep {
+				cells[i] = float64(c)
+			}
+			meta := ckpt.Meta{Driver: rdDriverName, Step: step, Time: t,
+				Series: map[string][]float64{"stepSeconds": dr.StepSeconds, "cells": cells}}
 			if cs, ok := cellChem.(CounterSource); ok {
 				meta.Counters = cs.Counters()
 			}

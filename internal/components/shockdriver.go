@@ -35,6 +35,10 @@ type ShockDriver struct {
 	Times, Circulations []float64
 	Steps               int
 	FinalTime           float64
+
+	// dts mirrors the per-step dt series so it survives checkpoint
+	// round-trips like Times/Circulations do.
+	dts []float64
 }
 
 // SetServices implements cca.Component.
@@ -148,6 +152,20 @@ func (sd *ShockDriver) run() error {
 		sd.Steps = step0
 		sd.Times = append([]float64(nil), restored.Series["t"]...)
 		sd.Circulations = append([]float64(nil), restored.Series["circulation"]...)
+		sd.dts = append([]float64(nil), restored.Series["dt"]...)
+		// Replay the reinstated history into the statistics port so a
+		// resumed run streams the whole Fig 7 curve, not just its tail.
+		if stats != nil {
+			for i := range sd.Times {
+				stats.Record("t", sd.Times[i])
+				if i < len(sd.Circulations) {
+					stats.Record("circulation", sd.Circulations[i])
+				}
+				if i < len(sd.dts) {
+					stats.Record("dt", sd.dts[i])
+				}
+			}
+		}
 	}
 	for step := step0; step < maxSteps && t < tEnd; step++ {
 		if c := sd.svc.Comm(); c != nil {
@@ -187,6 +205,7 @@ func (sd *ShockDriver) run() error {
 		gammaC := sd.compositeCirculation(mesh, name, gamma, bc)
 		sd.Times = append(sd.Times, t)
 		sd.Circulations = append(sd.Circulations, gammaC)
+		sd.dts = append(sd.dts, dt)
 		if stats != nil {
 			stats.Record("t", t)
 			stats.Record("circulation", gammaC)
@@ -203,7 +222,7 @@ func (sd *ShockDriver) run() error {
 		// rides along in Meta.Series (restore reinstates Fig 7's curve).
 		if ck != nil {
 			meta := ckpt.Meta{Driver: shockDriverName, Step: step, Time: t,
-				Series: map[string][]float64{"t": sd.Times, "circulation": sd.Circulations}}
+				Series: map[string][]float64{"t": sd.Times, "circulation": sd.Circulations, "dt": sd.dts}}
 			if err := ck.SaveIfDue(meta); err != nil {
 				return err
 			}

@@ -5,6 +5,7 @@ import (
 	"strconv"
 
 	"ccahydro/internal/cca"
+	"ccahydro/internal/ckpt"
 	"ccahydro/internal/components"
 )
 
@@ -33,6 +34,12 @@ type CheckpointOptions struct {
 	Compress    bool   // gzip shard section payloads
 	Keep        int    // retention: keep newest K (0 = keep all)
 	KeepEvery   int    // retention: also keep every N-th step
+
+	// Preempt is a scheduler's stop gate: when it fires, the run saves
+	// a final checkpoint at its next step boundary and unwinds with
+	// ckpt.ErrPreempted (nil = never preempted). Set programmatically —
+	// it has no string-parameter form.
+	Preempt *ckpt.Gate
 }
 
 // WireCheckpointOpts is WireCheckpoint with the full option surface
@@ -58,6 +65,13 @@ func WireCheckpointOpts(f *cca.Framework, o CheckpointOptions) error {
 	}
 	if err := f.Instantiate("CheckpointComponent", inst); err != nil {
 		return err
+	}
+	if o.Preempt != nil {
+		comp, err := f.Lookup(inst)
+		if err != nil {
+			return err
+		}
+		comp.(*components.CheckpointComponent).SetPreempt(o.Preempt)
 	}
 
 	// Point ckpt.mesh at the assembly's mesh provider.

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ccahydro/internal/ckpt"
+	"ccahydro/internal/mpi"
+)
+
+// TestPreemptThenElasticResume is the scheduler-facing preemption
+// contract: a run stopped mid-flight by a ckpt.Gate (1) saves a final
+// checkpoint at the stop step, (2) unwinds through ckpt.Supervise with
+// ckpt.ErrPreempted — not retried, because preemption is not a fault —
+// and (3) a later supervised resume on a *different* rank count lands
+// bit-for-bit on the uninterrupted run's final state.
+func TestPreemptThenElasticResume(t *testing.T) {
+	params := flameCkptParams() // 4 steps, regrid mid-run
+	assemble := assembleFlame(params)
+
+	// Uninterrupted reference at the resume rank count.
+	ref := runCkptGlobal(t, 2, assemble, "phi", CheckpointOptions{Dir: t.TempDir()})
+
+	// Live preemption: the gate fires from another goroutine once the
+	// step-0 checkpoint is durable, so the stop lands at a genuine
+	// mid-run boundary (all SCMD ranks agree on it via the collective
+	// decision in the checkpoint component).
+	dir := t.TempDir()
+	gate := &ckpt.Gate{}
+	go func() {
+		for {
+			if _, _, ok := ckpt.LatestValid(dir); ok {
+				gate.Request()
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	attempts := 0
+	err := ckpt.Supervise(dir, 2, func(restore string) error {
+		attempts++
+		_, err := runCkptWorld(mpi.NewWorld(4, mpi.CPlantModel), assemble, "phi",
+			CheckpointOptions{Every: 1, Dir: dir, Restore: restore, Preempt: gate})
+		return err
+	})
+	if err == nil {
+		t.Fatal("run completed before the gate fired — no live preemption exercised")
+	}
+	if !errors.Is(err, ckpt.ErrPreempted) {
+		t.Fatalf("preempted run returned %v, want ckpt.ErrPreempted", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("supervisor ran %d attempts, want 1: preemption must not be retried as a fault", attempts)
+	}
+
+	path, stopStep, ok := ckpt.LatestValid(dir)
+	if !ok {
+		t.Fatal("preempted run left no durable checkpoint")
+	}
+	if stopStep >= 3 {
+		t.Fatalf("stopped at step %d — not mid-run for a 4-step drive", stopStep)
+	}
+
+	// Resume on 2 ranks (the preempted run held 4): the supervised
+	// attempt chain starts from the preemption checkpoint exactly as
+	// the serve scheduler does.
+	var got map[cellKey]float64
+	err = ckpt.Supervise(dir, 2, func(restore string) error {
+		if restore == "" {
+			restore = path
+		}
+		m, err := runCkptWorld(mpi.NewWorld(2, mpi.CPlantModel), assemble, "phi",
+			CheckpointOptions{Every: 1, Dir: dir, Restore: restore})
+		got = m
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameCellMap(t, "preempt at 4 ranks, resume at 2", ref, got)
+}

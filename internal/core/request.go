@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ccahydro/internal/cca"
+)
+
+// RunRequest is the declarative form of "which assembly, with which
+// knobs" that a run server receives over the wire: the problem name
+// selects one of the paper's three assemblies, Flux the shock problem's
+// flux component swap, and Params the instance parameters applied
+// before instantiation. It is the assembly-from-request construction
+// point — the HTTP layer never touches Instantiate/Connect itself.
+type RunRequest struct {
+	Problem string // "ignition", "flame", or "shock"
+	Flux    string // shock only: "GodunovFlux" (default) or "EFMFlux"
+	Params  []Param
+}
+
+// Problems lists the assemblies AssembleRequest can build.
+func Problems() []string { return []string{"flame", "ignition", "shock"} }
+
+// driverNames maps problem to the driver tag its checkpoints carry.
+var requestDrivers = map[string]string{
+	"ignition": "ign",
+	"flame":    "rd",
+	"shock":    "shock",
+}
+
+// ValidRequest reports whether the request names a known problem (and,
+// for shock, a known flux class) without building anything.
+func ValidRequest(req RunRequest) error {
+	if _, ok := requestDrivers[req.Problem]; !ok {
+		return fmt.Errorf("core: unknown problem %q (want one of %v)", req.Problem, Problems())
+	}
+	if req.Problem == "shock" {
+		switch req.Flux {
+		case "", "GodunovFlux", "EFMFlux":
+		default:
+			return fmt.Errorf("core: unknown shock flux class %q (want GodunovFlux or EFMFlux)", req.Flux)
+		}
+	} else if req.Flux != "" {
+		return fmt.Errorf("core: flux class is a shock-only knob, got %q for %q", req.Flux, req.Problem)
+	}
+	return nil
+}
+
+// Checkpointable reports whether the problem's assembly supports the
+// checkpoint subsystem (and therefore preemption and elastic resume).
+// The 0D ignition assembly has no mesh to snapshot; it runs to
+// completion once admitted.
+func Checkpointable(problem string) bool { return problem == "flame" || problem == "shock" }
+
+// AssembleRequest builds the requested assembly on f. The instance
+// names are the fixed ones the Assemble* functions use ("driver",
+// "stats", "grace", ...), so callers can Lookup results afterwards.
+func AssembleRequest(f *cca.Framework, req RunRequest) error {
+	if err := ValidRequest(req); err != nil {
+		return err
+	}
+	switch req.Problem {
+	case "ignition":
+		return AssembleIgnition0D(f, req.Params...)
+	case "flame":
+		return AssembleReactionDiffusion(f, req.Params...)
+	default:
+		return AssembleShockInterface(f, req.Flux, req.Params...)
+	}
+}
+
+// CanonicalRequestLines renders the request as a deterministic line
+// set — problem, flux, and "instance/key=value" parameters sorted, with
+// later duplicates winning as SetParameter semantics dictate. It is the
+// hashing surface for content-addressed run dedup: two requests with
+// equal lines build bit-identical assemblies.
+func CanonicalRequestLines(req RunRequest) []string {
+	flux := req.Flux
+	if req.Problem == "shock" && flux == "" {
+		flux = "GodunovFlux"
+	}
+	last := map[string]string{}
+	for _, p := range req.Params {
+		last[p.Instance+"/"+p.Key] = p.Value
+	}
+	keys := make([]string, 0, len(last))
+	for k := range last {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	lines := []string{"problem=" + req.Problem, "flux=" + flux}
+	for _, k := range keys {
+		lines = append(lines, k+"="+last[k])
+	}
+	return lines
+}

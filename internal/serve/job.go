@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"time"
+
+	"ccahydro/internal/ckpt"
+	"ccahydro/internal/telemetry"
+)
+
+// State is a job's lifecycle stage.
+type State string
+
+const (
+	// StateQueued: admitted to a class queue, waiting for slots.
+	StateQueued State = "queued"
+	// StateWaiting: an identical (same full key) job is already active;
+	// this one coalesced onto it and will inherit its result.
+	StateWaiting State = "waiting"
+	// StateRunning: executing on its allocated ranks.
+	StateRunning State = "running"
+	// StatePreempting: running, but told to stop at its next checkpoint
+	// boundary to yield slots to a higher class.
+	StatePreempting State = "preempting"
+	// StatePreempted: stopped at a checkpoint, re-queued; the next
+	// admission resumes from the saved state, possibly on fewer ranks.
+	StatePreempted State = "preempted"
+	// Terminal states.
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Result is the durable outcome of a run: the rank-0 statistics series
+// (the paper's Fig 4/7 curves), solver counters summed over ranks, and
+// the completed step count. Results are stored content-addressed by
+// the spec's full key, so identical resubmissions replay this instead
+// of recomputing.
+type Result struct {
+	Problem  string               `json:"problem"`
+	Key      string               `json:"key"`
+	Steps    int                  `json:"steps"`
+	Series   map[string][]float64 `json:"series"`
+	Counters map[string]float64   `json:"counters,omitempty"`
+}
+
+// Job is one submitted run. All mutable fields are guarded by the
+// owning Scheduler's lock; handlers read them through Status().
+type Job struct {
+	ID        string
+	Spec      Spec
+	fullKey   string
+	prefixKey string
+	class     int
+	submitted time.Time
+
+	state       State
+	ranks       int // current/last allocation (0 before first admission)
+	restore     string
+	restoreStep int // -1 = cold start
+	warmStart   bool
+	gate        *ckpt.Gate
+	hub         *telemetry.Hub
+	result      *Result
+	cacheHit    bool
+	stepsRun    int // live steps actually computed by this job (0 on a cache hit)
+	preemptions int
+	cancelReq   bool
+	err         error
+	primary     *Job   // set while waiting: the job whose result we inherit
+	waiters     []*Job // jobs coalesced onto this one
+	done        chan struct{}
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status is the wire view of a job.
+type Status struct {
+	ID          string  `json:"id"`
+	State       State   `json:"state"`
+	Problem     string  `json:"problem"`
+	Priority    string  `json:"priority"`
+	Key         string  `json:"key"`
+	PrefixKey   string  `json:"prefixKey"`
+	Ranks       int     `json:"ranks"`       // requested
+	RanksAlloc  int     `json:"ranksAlloc"`  // current/last allocation
+	RestoreStep int     `json:"restoreStep"` // step of the checkpoint the next/current attempt restores (-1 = cold)
+	CacheHit    bool    `json:"cacheHit"`
+	WarmStart   bool    `json:"warmStart"`
+	StepsRun    int     `json:"stepsRun"`
+	Preemptions int     `json:"preemptions"`
+	Waiters     int     `json:"waiters,omitempty"`
+	Error       string  `json:"error,omitempty"`
+	Result      *Result `json:"result,omitempty"`
+}
+
+// statusLocked builds the wire view; caller holds the scheduler lock.
+// withResult controls whether the (possibly large) stored series ride
+// along.
+func (j *Job) statusLocked(withResult bool) Status {
+	st := Status{
+		ID:          j.ID,
+		State:       j.state,
+		Problem:     j.Spec.Problem,
+		Priority:    j.Spec.Priority,
+		Key:         j.fullKey,
+		PrefixKey:   j.prefixKey,
+		Ranks:       j.Spec.Ranks,
+		RanksAlloc:  j.ranks,
+		RestoreStep: j.restoreStep,
+		CacheHit:    j.cacheHit,
+		WarmStart:   j.warmStart,
+		StepsRun:    j.stepsRun,
+		Preemptions: j.preemptions,
+		Waiters:     len(j.waiters),
+	}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	if withResult && j.state.terminal() {
+		st.Result = j.result
+	}
+	return st
+}

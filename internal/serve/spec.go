@@ -1,0 +1,214 @@
+// Package serve is the multi-tenant simulation-as-a-service plane over
+// the assembly machinery: a Scheduler that owns runs as jobs —
+// priority-classed, weighted-fair, preemptible at checkpoint
+// boundaries, elastically resumable on a different rank count — and an
+// HTTP server exposing submit/status/cancel plus per-job telemetry
+// scopes (streamed NDJSON series). All jobs multiplex their
+// patch-parallel loops over the one shared internal/exec epoch pool;
+// rank parallelism stays per-job in each job's private mpi.World.
+//
+// Content-addressed run dedup extends the FNV-1a fingerprint chain
+// (per-patch field fingerprints, checkpoint content IDs) up to whole
+// runs: a Spec hashes to a full key (every assembly-visible knob) and a
+// prefix key (the same minus the run-length knob). Identical
+// resubmissions are served from the result store or coalesced onto the
+// in-flight twin; near-identical ones (same prefix, different length)
+// restart from the longest shared checkpoint prefix.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"ccahydro/internal/core"
+)
+
+// Priority classes, lowest to highest. Weighted fairness shares slots
+// across classes in proportion to their weights; strictly higher
+// classes may additionally preempt strictly lower ones.
+const (
+	ClassBatch  = 0
+	ClassNormal = 1
+	ClassHigh   = 2
+)
+
+// classWeights drive the weighted-fair admission order.
+var classWeights = [3]float64{1, 2, 4}
+
+var classNames = map[string]int{"batch": ClassBatch, "normal": ClassNormal, "high": ClassHigh}
+
+// Spec is one run request as submitted over the wire.
+type Spec struct {
+	// Problem selects the assembly: "ignition", "flame", or "shock".
+	Problem string `json:"problem"`
+	// Flux is the shock problem's flux component swap ("GodunovFlux",
+	// the default, or "EFMFlux").
+	Flux string `json:"flux,omitempty"`
+	// Params are instance parameters, instance -> key -> value,
+	// applied before instantiation (the Ccaffeine "parameter" verb).
+	Params map[string]map[string]string `json:"params,omitempty"`
+	// Ranks is the requested SPMD rank count (default 1). A resumed
+	// job may be restarted on fewer ranks when capacity is tight; the
+	// elastic restore path keeps the results bit-identical.
+	Ranks int `json:"ranks,omitempty"`
+	// Priority is "batch", "normal" (default), or "high".
+	Priority string `json:"priority,omitempty"`
+	// CkptEvery is the checkpoint cadence in driver steps (default 1).
+	// It bounds preemption latency: a job can only stop at a step
+	// boundary, and only checkpointable problems can stop early at all.
+	CkptEvery int `json:"ckptEvery,omitempty"`
+}
+
+// durationParam names the per-problem run-length knob — the one knob
+// excluded from the prefix key, so runs differing only in length share
+// a checkpoint lineage. For the shock problem that is maxSteps, not
+// tEnd: the driver clamps the final dt against tEnd, so state at a
+// given step is tEnd-dependent and tEnd must stay in the prefix key.
+var durationParam = map[string]string{"flame": "steps", "shock": "maxSteps"}
+
+// durationDefault mirrors the drivers' defaults so an explicit
+// "steps=5" and an omitted one hash identically.
+var durationDefault = map[string]string{"flame": "5", "shock": "10000"}
+
+// progressKey is the per-step statistics series whose length counts
+// completed steps in a stored result.
+var progressKey = map[string]string{"flame": "cells", "shock": "t", "ignition": "T"}
+
+// Normalize validates the spec and fills defaults in place (rank count,
+// priority, cadence, and the duration parameter, which must be explicit
+// so content hashing and prefix probing agree on the run length).
+func (sp *Spec) Normalize() error {
+	if err := core.ValidRequest(core.RunRequest{Problem: sp.Problem, Flux: sp.Flux}); err != nil {
+		return err
+	}
+	if sp.Ranks == 0 {
+		sp.Ranks = 1
+	}
+	if sp.Ranks < 0 {
+		return fmt.Errorf("serve: bad rank count %d", sp.Ranks)
+	}
+	if sp.Priority == "" {
+		sp.Priority = "normal"
+	}
+	if _, ok := classNames[sp.Priority]; !ok {
+		return fmt.Errorf("serve: unknown priority %q (want batch, normal, or high)", sp.Priority)
+	}
+	if sp.CkptEvery == 0 {
+		sp.CkptEvery = 1
+	}
+	if sp.CkptEvery < 0 {
+		return fmt.Errorf("serve: bad checkpoint cadence %d", sp.CkptEvery)
+	}
+	if dk, ok := durationParam[sp.Problem]; ok {
+		v := sp.param("driver", dk, durationDefault[sp.Problem])
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return fmt.Errorf("serve: bad driver %s %q", dk, v)
+		}
+		if sp.Params == nil {
+			sp.Params = map[string]map[string]string{}
+		}
+		if sp.Params["driver"] == nil {
+			sp.Params["driver"] = map[string]string{}
+		}
+		sp.Params["driver"][dk] = strconv.Itoa(n)
+	}
+	return nil
+}
+
+func (sp *Spec) param(instance, key, dflt string) string {
+	if m := sp.Params[instance]; m != nil {
+		if v, ok := m[key]; ok {
+			return v
+		}
+	}
+	return dflt
+}
+
+// Class returns the numeric priority class.
+func (sp *Spec) Class() int { return classNames[sp.Priority] }
+
+// TargetStep is the last 0-based driver step the run executes, or -1
+// when the problem has no step-indexed checkpoints. A prefix restart
+// must restore at or before this step — a later checkpoint describes
+// state this (shorter) run never reaches.
+func (sp *Spec) TargetStep() int {
+	dk, ok := durationParam[sp.Problem]
+	if !ok {
+		return -1
+	}
+	n, _ := strconv.Atoi(sp.param("driver", dk, durationDefault[sp.Problem]))
+	return n - 1
+}
+
+// Checkpointable reports whether this job can be preempted and resumed.
+func (sp *Spec) Checkpointable() bool { return core.Checkpointable(sp.Problem) }
+
+// ProgressKey returns the per-step series counting completed steps.
+func (sp *Spec) ProgressKey() string { return progressKey[sp.Problem] }
+
+// Request lowers the spec to the core assembly request. Parameters are
+// emitted in sorted (instance, key) order so assembly is deterministic.
+func (sp *Spec) Request() core.RunRequest {
+	req := core.RunRequest{Problem: sp.Problem, Flux: sp.Flux}
+	var insts []string
+	for inst := range sp.Params {
+		insts = append(insts, inst)
+	}
+	sort.Strings(insts)
+	for _, inst := range insts {
+		var keys []string
+		for k := range sp.Params[inst] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			req.Params = append(req.Params, core.Param{Instance: inst, Key: k, Value: sp.Params[inst][k]})
+		}
+	}
+	return req
+}
+
+// hashLines folds canonical lines through FNV-1a 64 — the same hash
+// family as the per-patch field fingerprints and checkpoint content
+// IDs, extended to the whole (scenario, mechanism, solver params)
+// tuple.
+func hashLines(lines []string) string {
+	h := fnv.New64a()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// FullKey is the content address of the complete run: every knob that
+// can change the computed result, including the run length. Rank
+// count, priority, and checkpoint cadence are deliberately excluded —
+// results are rank-count-invariant (the elastic-restore matrix proves
+// it) and scheduling knobs don't change the physics.
+func (sp *Spec) FullKey() string {
+	return hashLines(core.CanonicalRequestLines(sp.Request()))
+}
+
+// PrefixKey is FullKey minus the run-length knob: jobs sharing it walk
+// the same trajectory for as long as both run, so they share one
+// checkpoint lineage and a shorter/longer resubmission restarts from
+// the longest shared checkpoint prefix.
+func (sp *Spec) PrefixKey() string {
+	dk, ok := durationParam[sp.Problem]
+	if !ok {
+		return sp.FullKey()
+	}
+	drop := "driver/" + dk + "="
+	var lines []string
+	for _, l := range core.CanonicalRequestLines(sp.Request()) {
+		if len(l) >= len(drop) && l[:len(drop)] == drop {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	return hashLines(lines)
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store is the content-addressed result store: full key -> Result,
+// memoized in memory and (when dir != "") persisted as one JSON file
+// per key so a restarted server keeps serving cache hits. Writes go
+// through a temp-file rename, so a crashed write never leaves a
+// half-result behind.
+type Store struct {
+	mu  sync.Mutex
+	dir string
+	mem map[string]*Result
+}
+
+// NewStore opens (creating if needed) a store rooted at dir; dir ""
+// keeps results in memory only.
+func NewStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return &Store{dir: dir, mem: map[string]*Result{}}, nil
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the stored result for key, consulting memory first and
+// the directory second (reloading results a previous process wrote).
+func (s *Store) Get(key string) (*Result, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.mem[key]; ok {
+		return r, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var r Result
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, false
+	}
+	s.mem[key] = &r
+	return &r, true
+}
+
+// Put records the result under key.
+func (s *Store) Put(key string, r *Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[key] = r
+	if s.dir == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := s.path(key) + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path(key)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("serve: store %s: %w", key, err)
+	}
+	return nil
+}
+
+// Len counts results known in memory (loaded or stored this process).
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}

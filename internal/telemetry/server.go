@@ -1,9 +1,11 @@
 package telemetry
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -17,7 +19,10 @@ type SeriesPoint struct {
 	Value float64 `json:"value"`
 }
 
-// Server is the live telemetry HTTP endpoint set over one Hub:
+// Endpoints is one Hub's HTTP surface, usable standalone (Serve) or
+// mounted under a prefix by a multi-tenant server — ccaserve scopes one
+// per job at /jobs/:id/. The zero value is not useful; build with
+// NewEndpoints.
 //
 //	/metrics  Prometheus text exposition of the merged obs registries
 //	/healthz  JSON Health: phase, step, last checkpoint, rank liveness
@@ -25,10 +30,39 @@ type SeriesPoint struct {
 //	/series   NDJSON stream of StatisticsComponent samples as steps
 //	          complete; ?follow=0 for a non-blocking drain
 //	/trace    Chrome-trace snapshot of the live tracer rings
-type Server struct {
+type Endpoints struct {
 	hub *Hub
-	ln  net.Listener
-	srv *http.Server
+	// done, when non-nil, ends streaming handlers early: a graceful
+	// Shutdown closes it so in-flight /series followers drain what they
+	// have and return instead of pinning the server open.
+	done <-chan struct{}
+}
+
+// NewEndpoints builds the endpoint set over hub. done may be nil (no
+// early-stop signal); Serve wires its own.
+func NewEndpoints(hub *Hub, done <-chan struct{}) *Endpoints {
+	return &Endpoints{hub: hub, done: done}
+}
+
+// Handler returns the mux serving the four endpoints at the root.
+// Mount under http.StripPrefix for scoped (per-job) exposure.
+func (e *Endpoints) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", e.metrics)
+	mux.HandleFunc("/healthz", e.healthz)
+	mux.HandleFunc("/series", e.series)
+	mux.HandleFunc("/trace", e.trace)
+	return mux
+}
+
+// Server is the standalone telemetry server: one Hub's Endpoints bound
+// to its own listener.
+type Server struct {
+	*Endpoints
+	ln   net.Listener
+	srv  *http.Server
+	stop chan struct{}
+	once sync.Once
 }
 
 // Serve starts the telemetry server on addr (e.g. ":8080" or
@@ -38,13 +72,9 @@ func Serve(addr string, hub *Hub) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{hub: hub, ln: ln}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.metrics)
-	mux.HandleFunc("/healthz", s.healthz)
-	mux.HandleFunc("/series", s.series)
-	mux.HandleFunc("/trace", s.trace)
-	s.srv = &http.Server{Handler: mux}
+	stop := make(chan struct{})
+	s := &Server{Endpoints: NewEndpoints(hub, stop), ln: ln, stop: stop}
+	s.srv = &http.Server{Handler: s.Handler()}
 	go s.srv.Serve(ln)
 	return s, nil
 }
@@ -54,10 +84,23 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Close stops the listener and drops open connections (streaming
 // /series followers included).
-func (s *Server) Close() error { return s.srv.Close() }
+func (s *Server) Close() error {
+	s.once.Do(func() { close(s.stop) })
+	return s.srv.Close()
+}
 
-func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
-	g := s.hub.Group()
+// Shutdown stops the server gracefully: the listener closes, streaming
+// followers are told to finish their current drain and hang up, and the
+// call waits for in-flight requests (until ctx expires, when it gives
+// up the same way http.Server.Shutdown does). Safe to call more than
+// once and after Close.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.once.Do(func() { close(s.stop) })
+	return s.srv.Shutdown(ctx)
+}
+
+func (e *Endpoints) metrics(w http.ResponseWriter, _ *http.Request) {
+	g := e.hub.Group()
 	if g == nil {
 		http.Error(w, "telemetry: no metrics group attached", http.StatusServiceUnavailable)
 		return
@@ -66,8 +109,8 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	g.MergedSnapshot().WritePrometheus(w)
 }
 
-func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
-	h := s.hub.Health()
+func (e *Endpoints) healthz(w http.ResponseWriter, _ *http.Request) {
+	h := e.hub.Health()
 	code := http.StatusOK
 	if h.Phase == "failed" {
 		code = http.StatusServiceUnavailable
@@ -84,8 +127,8 @@ func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
 	enc.Encode(h)
 }
 
-func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
-	g := s.hub.Group()
+func (e *Endpoints) trace(w http.ResponseWriter, _ *http.Request) {
+	g := e.hub.Group()
 	if g == nil {
 		http.Error(w, "telemetry: no tracer attached", http.StatusServiceUnavailable)
 		return
@@ -100,8 +143,9 @@ func (s *Server) trace(w http.ResponseWriter, _ *http.Request) {
 // watch channel wakes the handler on every structured event (steps
 // record samples) and a coarse ticker bounds the worst-case latency.
 // The stream ends when the run reaches a terminal phase, the client
-// disconnects, or immediately after one drain with ?follow=0.
-func (s *Server) series(w http.ResponseWriter, r *http.Request) {
+// disconnects, the server shuts down (after a final drain), or
+// immediately after one drain with ?follow=0.
+func (e *Endpoints) series(w http.ResponseWriter, r *http.Request) {
 	follow := r.URL.Query().Get("follow") != "0"
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	fl, _ := w.(http.Flusher)
@@ -113,8 +157,8 @@ func (s *Server) series(w http.ResponseWriter, r *http.Request) {
 	}
 	cursors := map[cursor]int{}
 	emit := func() {
-		for rank := 0; rank < s.hub.NumRanks(); rank++ {
-			src := s.hub.Rank(rank).Series()
+		for rank := 0; rank < e.hub.NumRanks(); rank++ {
+			src := e.hub.Rank(rank).Series()
 			if src == nil {
 				continue
 			}
@@ -133,15 +177,21 @@ func (s *Server) series(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	watch, cancel := s.hub.Watch()
+	watch, cancel := e.hub.Watch()
 	defer cancel()
 	last := ^uint64(0) // force the first scan
 	for {
-		if s.hub.Finished() {
+		if e.hub.Finished() {
 			emit() // terminal phase was set after the last sample: final drain is complete
 			return
 		}
-		if v := s.hub.seriesVersion(); v != last {
+		select {
+		case <-e.done:
+			emit() // shutdown: hand the follower everything recorded so far
+			return
+		default:
+		}
+		if v := e.hub.seriesVersion(); v != last {
 			last = v
 			emit()
 		}
@@ -151,6 +201,7 @@ func (s *Server) series(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-e.done:
 		case <-watch:
 		case <-time.After(200 * time.Millisecond):
 		}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -232,5 +233,71 @@ func TestSeriesFollowStreams(t *testing.T) {
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("stream did not terminate after the run finished")
+	}
+}
+
+// TestShutdownDrainsFollowers is the graceful-shutdown regression: an
+// in-flight /series follower on a still-running hub must receive every
+// sample recorded so far and see its stream end when Shutdown is
+// called, and Shutdown/Close must be safe to call repeatedly in any
+// order.
+func TestShutdownDrainsFollowers(t *testing.T) {
+	h := NewHub(1, nil)
+	h.SetPhase("running")
+	src := newFakeSeries()
+	h.Rank(0).SetSeries(src)
+	s, err := Serve("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src.add("T", 300)
+	src.add("T", 310)
+	resp, err := http.Get("http://" + s.Addr() + "/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	done := make(chan []SeriesPoint, 1)
+	go func() {
+		var pts []SeriesPoint
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var pt SeriesPoint
+			if json.Unmarshal(sc.Bytes(), &pt) == nil {
+				pts = append(pts, pt)
+			}
+		}
+		done <- pts
+	}()
+
+	// Give the follower a moment to attach, then shut down with the run
+	// still in phase "running" — only the done channel can end the
+	// stream.
+	time.Sleep(50 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	select {
+	case pts := <-done:
+		if len(pts) != 2 {
+			t.Fatalf("follower saw %d points across shutdown, want 2: %+v", len(pts), pts)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("shutdown did not end the in-flight /series stream")
+	}
+
+	// Double shutdown, shutdown-after-close, close-after-shutdown: all
+	// must return without panicking on the sync.Once-guarded stop.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	s.Close()
+	if err := s.Shutdown(ctx); err != nil && err != http.ErrServerClosed {
+		t.Fatalf("Shutdown after Close: %v", err)
 	}
 }

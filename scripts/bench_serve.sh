@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate BENCH_serve.json: the run-server study — cold throughput
+# for a batch of distinct jobs over the shared scheduler, the
+# resubmission pass served entirely from the content-addressed result
+# store (hit latency vs cold, dedup speedup), and the flame prefix
+# warm-start (live steps for an extension vs the cold full run). The
+# hit/step counts are deterministic; wall-clock rates are
+# host-dependent. Run from the repo root:
+#
+#   sh scripts/bench_serve.sh           # full batch (12 jobs)
+#   sh scripts/bench_serve.sh -quick    # reduced batch (4 jobs)
+set -e
+
+cd "$(dirname "$0")/.."
+
+go run ./cmd/experiments -exp serve -servejson BENCH_serve.json "$@"

@@ -9,8 +9,15 @@
 # delta-chain crash torture tests. internal/exec also asserts the
 # steady-state epoch handoff allocates nothing (TestEpochHandoffZeroAlloc).
 # The race list includes internal/telemetry (lock-free flight ring,
-# hub fan-out) and a final smoke pass drives the live HTTP endpoints
-# against a real 4-rank run (TestTelemetryEndpointsLiveFlame).
+# hub fan-out) and internal/serve (the multi-tenant run server:
+# concurrent jobs over one pool, checkpoint-boundary preemption,
+# elastic resume, content-addressed dedup). Two smoke passes close it
+# out: the live telemetry endpoints against a real 4-rank run
+# (TestTelemetryEndpointsLiveFlame) and the live run server
+# (TestServeLiveSmoke boots ccaserve's scheduler+HTTP stack, submits
+# two concurrent jobs plus a duplicate, and asserts the duplicate is a
+# zero-step cache hit; TestAcceptancePreemptResume drives the
+# preempt/elastic-resume scenario end to end).
 # Run from the repo root:
 #
 #   sh scripts/check.sh
@@ -45,9 +52,13 @@ go test ./...
 echo "== go test -race (epoch engine + drivers + message substrate + observability + checkpoint)"
 go test -race ./internal/exec/... ./internal/components/... ./internal/core/... \
 	./internal/mpi/... ./internal/field/... ./internal/obs/... ./internal/cca/... \
-	./internal/ckpt/... ./internal/chem/... ./internal/rkc/... ./internal/telemetry/...
+	./internal/ckpt/... ./internal/chem/... ./internal/rkc/... ./internal/telemetry/... \
+	./internal/serve/...
 
 echo "== telemetry endpoint smoke (live /metrics /healthz /series /trace on a 4-rank run)"
 go test -run 'TestTelemetryEndpointsLiveFlame|TestTelemetryFaultFlightRecorder' -count=1 ./internal/core/
+
+echo "== run-server live smoke (submit two jobs + a duplicate over HTTP, preempt/resume acceptance)"
+go test -run 'TestServeLiveSmoke|TestAcceptancePreemptResume' -count=1 ./internal/serve/
 
 echo "OK"
