@@ -5,6 +5,7 @@
 //	ccarun -np 4 script.rc
 //	ccarun -list                  # show the component palette
 //	ccarun -arena script.rc      # print the assembly without running "go"
+//	ccarun -scenario scenarios/flame2d.scn   # run a declarative scenario file
 //	ccarun -np 4 -trace out.json script.rc   # Perfetto trace of the run
 //	ccarun -obs script.rc                    # port-call summary table
 //	ccarun -metrics :8080 script.rc          # /metrics, /debug/vars, /debug/pprof
@@ -45,6 +46,7 @@ import (
 	"ccahydro/internal/mpi"
 	"ccahydro/internal/obs"
 	"ccahydro/internal/prof"
+	"ccahydro/internal/scenario"
 	"ccahydro/internal/telemetry"
 )
 
@@ -52,6 +54,7 @@ func main() {
 	np := flag.Int("np", 1, "number of SCMD framework instances (ranks)")
 	list := flag.Bool("list", false, "list the component palette and exit")
 	arena := flag.Bool("arena", false, "execute everything except 'go' commands and print the assembly")
+	scenarioMode := flag.Bool("scenario", false, "treat the input file as a declarative scenario (validated, then lowered to the same assembly path)")
 	network := flag.String("network", "cplant", "virtual network model: cplant, fastethernet, zero")
 	tracePath := flag.String("trace", "", "write a merged Chrome/Perfetto trace of the run to this file")
 	obsTable := flag.Bool("obs", false, "print the port-call summary table after the run")
@@ -85,7 +88,7 @@ func main() {
 		return
 	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ccarun [-np P] script.rc")
+		fmt.Fprintln(os.Stderr, "usage: ccarun [-np P] script.rc  (or: ccarun -scenario file.scn)")
 		os.Exit(2)
 	}
 	text, err := os.ReadFile(flag.Arg(0))
@@ -93,10 +96,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	script, err := cca.ParseScriptString(string(text))
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	var script *cca.Script
+	if *scenarioMode {
+		// Compile + validate first: every wiring or parameter mistake is
+		// reported with file:line:col positions before anything runs.
+		c, err := scenario.Compile(flag.Arg(0), text)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if c.HasSweep() {
+			fmt.Printf("scenario %s declares a sweep (%d points); running the base point only — POST the file to ccaserve /arrays for the full job array\n",
+				c.Name, c.SweepPoints())
+		}
+		script = c.Script()
+	} else {
+		script, err = cca.ParseScriptString(string(text))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	if *arena {

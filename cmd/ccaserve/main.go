@@ -10,6 +10,13 @@
 //	curl localhost:8080/jobs/job-0001
 //	curl -N localhost:8080/jobs/job-0001/series
 //	curl -X POST localhost:8080/jobs/job-0001/cancel
+//
+// Declarative scenarios (see internal/scenario and scenarios/) submit
+// as {"scenario": "<file text>"}; a scenario with a sweep block goes to
+// /arrays and expands into one job per sweep point:
+//
+//	jq -Rs '{scenario:.}' scenarios/richtmyer_meshkov.scn | curl -X POST localhost:8080/arrays -d @-
+//	curl localhost:8080/arrays/array-0001
 package main
 
 import (
@@ -31,6 +38,7 @@ func main() {
 	dir := flag.String("dir", "ccaserve-data", "state root (checkpoints and the content-addressed result store); empty for ephemeral")
 	network := flag.String("network", "cplant", "virtual network model: cplant, fastethernet, zero")
 	maxRetries := flag.Int("max-retries", 2, "rank-failure relaunch budget per job admission")
+	storeMax := flag.Int("store-max", 0, "result-store entry cap, LRU-evicted past it (0 = unbounded; checkpoint lineages are never evicted)")
 	grace := flag.Duration("grace", 30*time.Second, "graceful shutdown budget on SIGINT/SIGTERM")
 	flag.Parse()
 
@@ -47,6 +55,7 @@ func main() {
 		Dir:        *dir,
 		Model:      model,
 		MaxRetries: *maxRetries,
+		StoreMax:   *storeMax,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

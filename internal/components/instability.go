@@ -1,0 +1,177 @@
+package components
+
+import (
+	"math"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/euler"
+)
+
+// KelvinHelmholtzIC sets up a double shear layer for the classic
+// Kelvin–Helmholtz instability: a dense band in the middle third of the
+// domain streaming against the outer gas, with a small sinusoidal
+// transverse velocity perturbation to seed the roll-up. Units are
+// nondimensional (outer gas rho=1, p=1); the band density comes from
+// the GasProperties database ("densityRatio"). Parameters:
+//
+//	shearU      velocity jump across each layer (default 0.5)
+//	thickness   shear-layer thickness as a fraction of Ly (default 0.05)
+//	perturbAmp  transverse perturbation amplitude (default 0.01)
+//	modes       perturbation wavenumber across Lx (default 2)
+type KelvinHelmholtzIC struct {
+	svc cca.Services
+}
+
+// SetServices implements cca.Component.
+func (kh *KelvinHelmholtzIC) SetServices(svc cca.Services) error {
+	kh.svc = svc
+	if err := svc.RegisterUsesPort("gasProperties", KeyValuePortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(kh, "ic", ICFieldPortType)
+}
+
+// Impose implements ICFieldPort on the conserved field.
+func (kh *KelvinHelmholtzIC) Impose(mesh MeshPort, name string) {
+	gp, err := kh.svc.GetPort("gasProperties")
+	if err != nil {
+		panic(err)
+	}
+	kh.svc.ReleasePort("gasProperties")
+	db := gp.(KeyValuePort)
+	gamma, _ := db.Value("gamma")
+	if gamma == 0 {
+		gamma = euler.AirGamma
+	}
+	ratio, ok := db.Value("densityRatio")
+	if !ok {
+		ratio = 3.0
+	}
+	params := kh.svc.Parameters()
+	shearU := params.GetFloat("shearU", 0.5)
+	delta := params.GetFloat("thickness", 0.05)
+	amp := params.GetFloat("perturbAmp", 0.01)
+	modes := float64(params.GetInt("modes", 2))
+
+	g := euler.Gas{Gamma: gamma}
+	d := mesh.Field(name)
+	h := d.Hierarchy()
+	for l := 0; l < h.NumLevels(); l++ {
+		dx, dy := mesh.Spacing(l)
+		LX := dx * float64(h.LevelDomain(l).Hi[0]+1)
+		LY := dy * float64(h.LevelDomain(l).Hi[1]+1)
+		for _, pd := range d.LocalPatches(l) {
+			gb := pd.GrownBox()
+			for j := gb.Lo[1]; j <= gb.Hi[1]; j++ {
+				for i := gb.Lo[0]; i <= gb.Hi[0]; i++ {
+					fx := (float64(i) + 0.5) * dx / LX
+					fy := (float64(j) + 0.5) * dy / LY
+					// s ramps 0 -> 1 -> 0 across the two shear layers at
+					// fy = 1/4 and fy = 3/4.
+					s := 0.5 * (math.Tanh((fy-0.25)/delta) - math.Tanh((fy-0.75)/delta))
+					w := euler.Primitive{
+						Rho: 1 + (ratio-1)*s,
+						U:   shearU * (s - 0.5),
+						V: amp * math.Sin(2*math.Pi*modes*fx) *
+							(math.Exp(-sq((fy-0.25)/delta)) + math.Exp(-sq((fy-0.75)/delta))),
+						P:    1,
+						Zeta: s,
+					}
+					u := g.ToConserved(w)
+					for k := 0; k < euler.NumComp; k++ {
+						pd.Set(k, i, j, u[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func sq(x float64) float64 { return x * x }
+
+// RichtmyerMeshkovIC sets up the Richtmyer–Meshkov problem: a
+// rightward-moving Mach-M shock (strength and gamma from the
+// GasProperties database) about to strike a sinusoidally corrugated
+// interface between light and heavy gas ("densityRatio"). The
+// impulsive acceleration inverts and grows the corrugation — the
+// single-shot cousin of Rayleigh–Taylor. Parameters:
+//
+//	interfaceX  mean interface position as a fraction of Lx (default 0.55)
+//	amplitude   corrugation amplitude as a fraction of Lx (default 0.05)
+//	modes       corrugation wavenumber across Ly (default 3)
+//	shockX      initial shock position fraction (default 0.25)
+type RichtmyerMeshkovIC struct {
+	svc cca.Services
+}
+
+// SetServices implements cca.Component.
+func (rm *RichtmyerMeshkovIC) SetServices(svc cca.Services) error {
+	rm.svc = svc
+	if err := svc.RegisterUsesPort("gasProperties", KeyValuePortType); err != nil {
+		return err
+	}
+	return svc.AddProvidesPort(rm, "ic", ICFieldPortType)
+}
+
+// Impose implements ICFieldPort on the conserved field.
+func (rm *RichtmyerMeshkovIC) Impose(mesh MeshPort, name string) {
+	gp, err := rm.svc.GetPort("gasProperties")
+	if err != nil {
+		panic(err)
+	}
+	rm.svc.ReleasePort("gasProperties")
+	db := gp.(KeyValuePort)
+	gamma, _ := db.Value("gamma")
+	if gamma == 0 {
+		gamma = euler.AirGamma
+	}
+	ratio, ok := db.Value("densityRatio")
+	if !ok {
+		ratio = 3.0
+	}
+	mach, ok := db.Value("mach")
+	if !ok {
+		mach = 1.5
+	}
+	params := rm.svc.Parameters()
+	ifaceX := params.GetFloat("interfaceX", 0.55)
+	amp := params.GetFloat("amplitude", 0.05)
+	modes := float64(params.GetInt("modes", 3))
+	shockX := params.GetFloat("shockX", 0.25)
+
+	g := euler.Gas{Gamma: gamma}
+	light := euler.Primitive{Rho: 1, P: 1, Zeta: 0}
+	heavy := euler.Primitive{Rho: ratio, P: 1, Zeta: 1}
+	post := PostShockState(gamma, mach, light.Rho, light.P)
+
+	d := mesh.Field(name)
+	h := d.Hierarchy()
+	for l := 0; l < h.NumLevels(); l++ {
+		dx, dy := mesh.Spacing(l)
+		LX := dx * float64(h.LevelDomain(l).Hi[0]+1)
+		LY := dy * float64(h.LevelDomain(l).Hi[1]+1)
+		for _, pd := range d.LocalPatches(l) {
+			gb := pd.GrownBox()
+			for j := gb.Lo[1]; j <= gb.Hi[1]; j++ {
+				for i := gb.Lo[0]; i <= gb.Hi[0]; i++ {
+					x := (float64(i) + 0.5) * dx
+					y := (float64(j) + 0.5) * dy
+					xi := ifaceX*LX + amp*LX*math.Cos(2*math.Pi*modes*y/LY)
+					var w euler.Primitive
+					switch {
+					case x < shockX*LX:
+						w = post
+					case x < xi:
+						w = light
+					default:
+						w = heavy
+					}
+					u := g.ToConserved(w)
+					for k := 0; k < euler.NumComp; k++ {
+						pd.Set(k, i, j, u[k])
+					}
+				}
+			}
+		}
+	}
+}

@@ -23,6 +23,8 @@ func RegisterAll(repo *cca.Repository) {
 	repo.Register("ErrorEstAndRegrid", func() cca.Component { return &ErrorEstAndRegrid{} })
 	repo.Register("RDDriver", func() cca.Component { return &RDDriver{} })
 	repo.Register("ConicalInterfaceIC", func() cca.Component { return &ConicalInterfaceIC{} })
+	repo.Register("KelvinHelmholtzIC", func() cca.Component { return &KelvinHelmholtzIC{} })
+	repo.Register("RichtmyerMeshkovIC", func() cca.Component { return &RichtmyerMeshkovIC{} })
 	repo.Register("States", func() cca.Component { return &States{} })
 	repo.Register("GodunovFlux", func() cca.Component { return &GodunovFluxComp{} })
 	repo.Register("EFMFlux", func() cca.Component { return &EFMFluxComp{} })

@@ -5,21 +5,29 @@ import (
 	"sort"
 
 	"ccahydro/internal/cca"
+	"ccahydro/internal/scenario"
 )
 
 // RunRequest is the declarative form of "which assembly, with which
 // knobs" that a run server receives over the wire: the problem name
 // selects one of the paper's three assemblies, Flux the shock problem's
 // flux component swap, and Params the instance parameters applied
-// before instantiation. It is the assembly-from-request construction
-// point — the HTTP layer never touches Instantiate/Connect itself.
+// before instantiation. A request may instead carry a compiled scenario
+// (Problem "scenario"), in which case the assembly is whatever the
+// scenario file declared — same construction point, same dedup keying.
+// The HTTP layer never touches Instantiate/Connect itself.
 type RunRequest struct {
-	Problem string // "ignition", "flame", or "shock"
-	Flux    string // shock only: "GodunovFlux" (default) or "EFMFlux"
-	Params  []Param
+	Problem  string // "ignition", "flame", "shock", or "scenario"
+	Flux     string // shock only: "GodunovFlux" (default) or "EFMFlux"
+	Params   []Param
+	Scenario *scenario.Compiled // set iff Problem == "scenario"
 }
 
-// Problems lists the assemblies AssembleRequest can build.
+// ScenarioProblem is the Problem value of scenario-built requests.
+const ScenarioProblem = "scenario"
+
+// Problems lists the built-in assemblies AssembleRequest can build
+// (scenario-built requests are open-ended and not enumerated here).
 func Problems() []string { return []string{"flame", "ignition", "shock"} }
 
 // driverNames maps problem to the driver tag its checkpoints carry.
@@ -30,8 +38,19 @@ var requestDrivers = map[string]string{
 }
 
 // ValidRequest reports whether the request names a known problem (and,
-// for shock, a known flux class) without building anything.
+// for shock, a known flux class) without building anything. Scenario
+// requests are valid by construction — a *scenario.Compiled only exists
+// after full static validation — but must not mix with built-in knobs.
 func ValidRequest(req RunRequest) error {
+	if req.Scenario != nil {
+		if req.Problem != "" && req.Problem != ScenarioProblem {
+			return fmt.Errorf("core: scenario request must not also name problem %q", req.Problem)
+		}
+		if req.Flux != "" {
+			return fmt.Errorf("core: flux class is a shock-only knob, got %q for a scenario request", req.Flux)
+		}
+		return nil
+	}
 	if _, ok := requestDrivers[req.Problem]; !ok {
 		return fmt.Errorf("core: unknown problem %q (want one of %v)", req.Problem, Problems())
 	}
@@ -50,15 +69,43 @@ func ValidRequest(req RunRequest) error {
 // Checkpointable reports whether the problem's assembly supports the
 // checkpoint subsystem (and therefore preemption and elastic resume).
 // The 0D ignition assembly has no mesh to snapshot; it runs to
-// completion once admitted.
+// completion once admitted. Scenario-built requests answer through
+// RequestCheckpointable, which consults the run target's driver class.
 func Checkpointable(problem string) bool { return problem == "flame" || problem == "shock" }
 
-// AssembleRequest builds the requested assembly on f. The instance
-// names are the fixed ones the Assemble* functions use ("driver",
-// "stats", "grace", ...), so callers can Lookup results afterwards.
+// RequestCheckpointable is Checkpointable over a whole request,
+// including scenario-built ones.
+func RequestCheckpointable(req RunRequest) bool {
+	if req.Scenario != nil {
+		return req.Scenario.Checkpointable()
+	}
+	return Checkpointable(req.Problem)
+}
+
+// RunInstance names the instance whose go port drives the request:
+// the fixed "driver" for built-ins, the scenario's run target
+// otherwise.
+func RunInstance(req RunRequest) string {
+	if req.Scenario != nil {
+		return req.Scenario.RunInstance()
+	}
+	return "driver"
+}
+
+// AssembleRequest builds the requested assembly on f. For built-ins the
+// instance names are the fixed ones the Assemble* functions use
+// ("driver", "stats", "grace", ...), so callers can Lookup results
+// afterwards; for scenarios they are whatever the file declared.
 func AssembleRequest(f *cca.Framework, req RunRequest) error {
 	if err := ValidRequest(req); err != nil {
 		return err
+	}
+	if req.Scenario != nil {
+		overrides := make([]scenario.Param, len(req.Params))
+		for i, p := range req.Params {
+			overrides[i] = scenario.Param{Instance: p.Instance, Key: p.Key, Value: p.Value}
+		}
+		return req.Scenario.Build(f, overrides...)
 	}
 	switch req.Problem {
 	case "ignition":
@@ -72,24 +119,35 @@ func AssembleRequest(f *cca.Framework, req RunRequest) error {
 
 // CanonicalRequestLines renders the request as a deterministic line
 // set — problem, flux, and "instance/key=value" parameters sorted, with
-// later duplicates winning as SetParameter semantics dictate. It is the
-// hashing surface for content-addressed run dedup: two requests with
-// equal lines build bit-identical assemblies.
+// later duplicates winning as SetParameter semantics dictate. Scenario
+// requests contribute the scenario's own canonical lines (components,
+// params, connections — name excluded) plus any override parameters.
+// It is the hashing surface for content-addressed run dedup: two
+// requests with equal lines build bit-identical assemblies.
 func CanonicalRequestLines(req RunRequest) []string {
+	if req.Scenario != nil {
+		lines := append([]string{"problem=" + ScenarioProblem}, req.Scenario.CanonicalLines()...)
+		return append(lines, sortedParamLines(req.Params, "override/")...)
+	}
 	flux := req.Flux
 	if req.Problem == "shock" && flux == "" {
 		flux = "GodunovFlux"
 	}
+	lines := []string{"problem=" + req.Problem, "flux=" + flux}
+	return append(lines, sortedParamLines(req.Params, "")...)
+}
+
+func sortedParamLines(params []Param, prefix string) []string {
 	last := map[string]string{}
-	for _, p := range req.Params {
-		last[p.Instance+"/"+p.Key] = p.Value
+	for _, p := range params {
+		last[prefix+p.Instance+"/"+p.Key] = p.Value
 	}
 	keys := make([]string, 0, len(last))
 	for k := range last {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
-	lines := []string{"problem=" + req.Problem, "flux=" + flux}
+	lines := make([]string, 0, len(keys))
 	for _, k := range keys {
 		lines = append(lines, k+"="+last[k])
 	}

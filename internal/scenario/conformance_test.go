@@ -1,0 +1,125 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/components"
+)
+
+// portSet renders a port list as sorted "name type" strings for
+// comparison regardless of declaration order.
+func portSet(ports []PortSchema) []string {
+	out := make([]string, len(ports))
+	for i, p := range ports {
+		out[i] = p.Name + " " + p.Type
+	}
+	sort.Strings(out)
+	return out
+}
+
+func livePortSet(pairs [][2]string) []string {
+	out := make([]string, len(pairs))
+	for i, p := range pairs {
+		out[i] = p[0] + " " + p[1]
+	}
+	sort.Strings(out)
+	return out
+}
+
+func diffSets(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("%s:\n schema: %v\n live:   %v", label, want, got)
+	}
+}
+
+// TestSchemaConformance pins the static schema against the living
+// component registry: every registered class has a schema entry, every
+// schema entry names a registered class, and for each class the uses
+// and provides port lists (names AND exact type strings) match what the
+// component registers in SetServices. A drifting schema would let the
+// validator accept scenarios the framework rejects, or vice versa.
+func TestSchemaConformance(t *testing.T) {
+	repo := components.NewRepository()
+	live := repo.Classes()
+	if fmt.Sprint(Classes()) != fmt.Sprint(live) {
+		t.Fatalf("class palettes differ:\n schema: %v\n live:   %v", Classes(), live)
+	}
+	for _, class := range live {
+		cls, _ := ClassInfo(class)
+		f := cca.NewFramework(repo, nil)
+		if err := f.Instantiate(class, "x"); err != nil {
+			t.Fatalf("instantiate %s: %v", class, err)
+		}
+		uses, err := f.UsesPorts("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		provides, err := f.ProvidedPorts("x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffSets(t, class+" uses ports", livePortSet(uses), portSet(cls.Uses))
+		diffSets(t, class+" provides ports", livePortSet(provides), portSet(cls.Provides))
+		// Run-server metadata exists exactly for go-port providers.
+		hasGo := false
+		for _, p := range provides {
+			if p[1] == cca.GoPortType {
+				hasGo = true
+			}
+		}
+		if hasGo != (cls.Driver != nil) {
+			t.Errorf("%s: go port %v but driver schema %v", class, hasGo, cls.Driver)
+		}
+		if hasGo != cls.HasGo() {
+			t.Errorf("%s: HasGo() = %v, live go port = %v", class, cls.HasGo(), hasGo)
+		}
+	}
+}
+
+// TestScenarioLibraryCompiles parse-validates every shipped scenario —
+// the conformance gate for the scenarios/ library itself.
+func TestScenarioLibraryCompiles(t *testing.T) {
+	paths, err := filepath.Glob(filepath.FromSlash("../../scenarios/*.scn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 7 {
+		t.Fatalf("expected the full scenario library, found %d files", len(paths))
+	}
+	wantPoints := map[string]int{
+		"ignition0d":        1,
+		"flame2d":           1,
+		"shockinterface":    1,
+		"kelvin_helmholtz":  1,
+		"richtmyer_meshkov": 3,
+		"flux_sweep":        3,
+		"ignition_batch":    6,
+	}
+	seen := map[string]bool{}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Compile(p, src)
+		if err != nil {
+			t.Errorf("%s does not validate:\n%v", p, err)
+			continue
+		}
+		seen[c.Name] = true
+		if want, ok := wantPoints[c.Name]; ok && c.SweepPoints() != want {
+			t.Errorf("%s: %d sweep points, want %d", c.Name, c.SweepPoints(), want)
+		}
+	}
+	for name := range wantPoints {
+		if !seen[name] {
+			t.Errorf("scenario %q missing from the library", name)
+		}
+	}
+}

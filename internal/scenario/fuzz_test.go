@@ -1,0 +1,93 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the hand-built corpus: valid scenarios, every rejection
+// class, truncations, and pathological shapes. check.sh replays these
+// through the fuzz target as fixed seeds even when no fuzzing budget is
+// available.
+func fuzzSeeds() []string {
+	seeds := []string{
+		miniScenario,
+		// Valid sweeps, param and class axes.
+		miniScenario + "sweep {\n    param driver.tEnd = [1e-4, 2e-4]\n}\n",
+		miniScenario + "sweep {\n    class cvode = [CvodeComponent]\n}\n",
+		// Empty and comment-only inputs.
+		"",
+		"# nothing here\n",
+		// Bad parameter types and ranges.
+		"scenario x\ncomponent g GrACEComponent { nx = lots }\nrun g\n",
+		"scenario x\ncomponent g GrACEComponent { nx = -7 }\nrun g\n",
+		"scenario x\ncomponent k ThermoChemistry { mech = argon }\nrun k\n",
+		// Duplicate names, both instance and parameter.
+		"scenario x\ncomponent a DPDt\ncomponent a DPDt\nrun a\n",
+		"scenario x\ncomponent r ErrorEstAndRegrid { buffer = 2 buffer = 3 }\nrun r\n",
+		// Cyclic wiring: legal at the framework level (uses/provides
+		// graphs may cycle), must not hang or crash validation.
+		"scenario x\ncomponent a ProblemModeler\ncomponent b DPDt\n" +
+			"connect a.dpdt -> b.dpdt\nconnect b.chemistry -> a.chemistry\nrun a\n",
+		// Self-connection.
+		"scenario x\ncomponent c ThermoChemistry\nconnect c.keyvalue -> c.properties\nrun c\n",
+		// Unterminated string, stray bytes, deep nesting.
+		"scenario x\ncomponent a B { k = \"unterminated",
+		"scenario x\ncomponent a B { k = @@@ }",
+		"scenario x\nsweep { param a.b = [1, 2,\n",
+		"scenario \"quoted\"\n",
+		strings.Repeat("sweep {\n", 50),
+		// Arrow and bracket soup.
+		"scenario x\nconnect -> -> ->\n",
+		"scenario x\nsweep { class = [] }\n",
+	}
+	// Truncations of a known-good scenario at every 17th byte: the
+	// parser must fail with a position, never panic, on any prefix.
+	for i := 0; i < len(miniScenario); i += 17 {
+		seeds = append(seeds, miniScenario[:i])
+	}
+	return seeds
+}
+
+// FuzzParseScenario: the front-end never panics and every rejection is
+// positioned. Run with `go test -fuzz=FuzzParseScenario` for coverage-
+// guided exploration; without -fuzz the seeds alone replay.
+func FuzzParseScenario(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Compile("fuzz.scn", []byte(src))
+		if err == nil {
+			// Accepted scenarios must survive the downstream paths the
+			// server and CLI exercise: canonical lines, render, script
+			// lowering, sweep expansion.
+			if c.Name == "" {
+				t.Fatal("accepted a scenario with no name")
+			}
+			_ = c.CanonicalLines()
+			_ = c.Script()
+			if _, err := Compile("rendered.scn", []byte(c.Render())); err != nil {
+				t.Fatalf("accepted scenario renders to rejected source: %v", err)
+			}
+			if c.HasSweep() {
+				if pts := c.Expand(); len(pts) != c.SweepPoints() {
+					t.Fatalf("Expand gave %d points, SweepPoints says %d", len(pts), c.SweepPoints())
+				}
+			}
+			return
+		}
+		ds := Diags(err)
+		if len(ds) == 0 {
+			t.Fatalf("rejection is not a diagnostic list: %v", err)
+		}
+		for _, d := range ds {
+			if d.Pos.Line == 0 {
+				t.Fatalf("diagnostic without a position: %v", d)
+			}
+			if !strings.HasPrefix(d.Error(), "fuzz.scn:") {
+				t.Fatalf("diagnostic not anchored to the source file: %v", d)
+			}
+		}
+	})
+}

@@ -1,0 +1,358 @@
+package scenario_test
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ccahydro/internal/cca"
+	"ccahydro/internal/components"
+	"ccahydro/internal/core"
+	"ccahydro/internal/mpi"
+	"ccahydro/internal/scenario"
+)
+
+func loadScenario(t *testing.T, name string) *scenario.Compiled {
+	t.Helper()
+	path := filepath.FromSlash("../../scenarios/" + name + ".scn")
+	src, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := scenario.Compile(path, src)
+	if err != nil {
+		t.Fatalf("%s does not validate:\n%v", path, err)
+	}
+	return c
+}
+
+// buildAndGo assembles a compiled scenario onto a fresh framework and
+// fires its go port — the run server's execution path in miniature.
+func buildAndGo(t *testing.T, c *scenario.Compiled, comm *mpi.Comm, overrides ...scenario.Param) *cca.Framework {
+	t.Helper()
+	f := cca.NewFramework(core.Repo(), comm)
+	if err := c.Build(f, overrides...); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Go(c.RunInstance(), "go"); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// snapshotField flattens every interior cell of every level of a named
+// field into one deterministic vector (same scheme as the core package's
+// checkpoint-comparison tests).
+func snapshotField(t *testing.T, f *cca.Framework, fieldName string) []float64 {
+	t.Helper()
+	comp, err := f.Lookup("grace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc := comp.(*components.GrACEComponent)
+	d := gc.Field(fieldName)
+	if d == nil {
+		t.Fatalf("field %q not declared", fieldName)
+	}
+	h := gc.Hierarchy()
+	var out []float64
+	for l := 0; l < h.NumLevels(); l++ {
+		for _, pd := range d.LocalPatches(l) {
+			b := pd.Interior()
+			for c := 0; c < d.NComp; c++ {
+				for j := b.Lo[1]; j <= b.Hi[1]; j++ {
+					for i := b.Lo[0]; i <= b.Hi[0]; i++ {
+						out = append(out, pd.At(c, i, j))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func statsSeries(t *testing.T, f *cca.Framework, key string) []float64 {
+	t.Helper()
+	comp, err := f.Lookup("stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return comp.(*components.StatisticsComponent).Get(key)
+}
+
+// sameF64 demands bit-for-bit equality — the equivalence claim is that a
+// scenario file IS the hard-coded assembly, not an approximation of it.
+func sameF64(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: lengths differ: %d vs %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d]: %v != %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestGoldenIgnitionScenario: the ignition0d scenario reproduces the
+// hard-coded Table 1 assembly bit for bit.
+func TestGoldenIgnitionScenario(t *testing.T) {
+	overrides := []scenario.Param{
+		{Instance: "driver", Key: "tEnd", Value: "2e-5"},
+		{Instance: "driver", Key: "nOut", Value: "4"},
+	}
+	ref, err := core.RunIgnition0D(
+		core.Param{Instance: "driver", Key: "tEnd", Value: "2e-5"},
+		core.Param{Instance: "driver", Key: "nOut", Value: "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f := buildAndGo(t, loadScenario(t, "ignition0d"), nil, overrides...)
+	comp, err := f.Lookup("driver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dr := comp.(*components.IgnitionDriver)
+
+	sameF64(t, "Times", dr.Times, ref.Times)
+	sameF64(t, "Temps", dr.Temps, ref.Temps)
+	sameF64(t, "Pressures", dr.Pressures, ref.Pressures)
+	sameF64(t, "FinalY", dr.FinalY, ref.FinalY)
+	if dr.IgnitionDelay != ref.IgnitionDelay {
+		t.Fatalf("IgnitionDelay: %v != %v", dr.IgnitionDelay, ref.IgnitionDelay)
+	}
+}
+
+var flameGoldenParams = []core.Param{
+	{Instance: "grace", Key: "nx", Value: "24"}, {Instance: "grace", Key: "ny", Value: "24"},
+	{Instance: "grace", Key: "maxLevels", Value: "2"},
+	{Instance: "driver", Key: "steps", Value: "2"}, {Instance: "driver", Key: "dt", Value: "1e-7"},
+	{Instance: "driver", Key: "regridEvery", Value: "1"},
+}
+
+func asOverrides(ps []core.Param) []scenario.Param {
+	out := make([]scenario.Param, len(ps))
+	for i, p := range ps {
+		out[i] = scenario.Param(p)
+	}
+	return out
+}
+
+// TestGoldenFlameScenario: the flame2d scenario reproduces the
+// hard-coded Table 2 assembly bit for bit — final field, extrema, and
+// the deterministic statistics series.
+func TestGoldenFlameScenario(t *testing.T) {
+	refDr, refF, err := core.RunReactionDiffusion(nil, flameGoldenParams...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := buildAndGo(t, loadScenario(t, "flame2d"), nil, asOverrides(flameGoldenParams)...)
+
+	sameF64(t, "phi", snapshotField(t, f, "phi"), snapshotField(t, refF, "phi"))
+	for _, key := range []string{"cells", "Tmax", "Tmin"} {
+		sameF64(t, "series "+key, statsSeries(t, f, key), statsSeries(t, refF, key))
+	}
+	comp, _ := f.Lookup("driver")
+	dr := comp.(*components.RDDriver)
+	if dr.TMax != refDr.TMax || dr.TMin != refDr.TMin {
+		t.Fatalf("extrema differ: (%v, %v) vs (%v, %v)", dr.TMax, dr.TMin, refDr.TMax, refDr.TMin)
+	}
+}
+
+var shockGoldenParams = []core.Param{
+	{Instance: "grace", Key: "nx", Value: "32"}, {Instance: "grace", Key: "ny", Value: "16"},
+	{Instance: "grace", Key: "maxLevels", Value: "2"},
+	{Instance: "driver", Key: "tEnd", Value: "0.05"}, {Instance: "driver", Key: "maxSteps", Value: "8"},
+	{Instance: "driver", Key: "regridEvery", Value: "4"},
+}
+
+// TestGoldenShockScenario: the shockinterface scenario reproduces the
+// hard-coded Table 3 assembly bit for bit, t/dt series included.
+func TestGoldenShockScenario(t *testing.T) {
+	refDr, refF, err := core.RunShockInterface(nil, "GodunovFlux", shockGoldenParams...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := buildAndGo(t, loadScenario(t, "shockinterface"), nil, asOverrides(shockGoldenParams)...)
+
+	sameF64(t, "U", snapshotField(t, f, "U"), snapshotField(t, refF, "U"))
+	for _, key := range []string{"t", "dt", "circulation"} {
+		sameF64(t, "series "+key, statsSeries(t, f, key), statsSeries(t, refF, key))
+	}
+	comp, _ := f.Lookup("driver")
+	dr := comp.(*components.ShockDriver)
+	sameF64(t, "Circulations", dr.Circulations, refDr.Circulations)
+}
+
+// runSCMDGolden executes assemble on 4 ranks and returns each rank's
+// field snapshot and t/dt-style series.
+func runSCMDGolden(t *testing.T, field string, keys []string,
+	assemble func(f *cca.Framework) error) ([][]float64, map[string][][]float64) {
+	t.Helper()
+	const ranks = 4
+	fields := make([][]float64, ranks)
+	series := make(map[string][][]float64, len(keys))
+	for _, k := range keys {
+		series[k] = make([][]float64, ranks)
+	}
+	var mu sync.Mutex
+	res := cca.RunSCMDOn(mpi.NewWorld(ranks, mpi.CPlantModel), core.Repo(),
+		func(f *cca.Framework, comm *mpi.Comm) error {
+			if err := assemble(f); err != nil {
+				return err
+			}
+			if err := f.Go("driver", "go"); err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			fields[comm.Rank()] = snapshotField(t, f, field)
+			for _, k := range keys {
+				series[k][comm.Rank()] = statsSeries(t, f, k)
+			}
+			return nil
+		})
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fields, series
+}
+
+// TestGoldenFlameScenario4Rank repeats the flame equivalence on 4 SCMD
+// ranks: every rank's local field partition and statistics series must
+// match the hard-coded assembly's, bit for bit.
+func TestGoldenFlameScenario4Rank(t *testing.T) {
+	keys := []string{"cells", "Tmax", "Tmin"}
+	refFields, refSeries := runSCMDGolden(t, "phi", keys, func(f *cca.Framework) error {
+		return core.AssembleReactionDiffusion(f, flameGoldenParams...)
+	})
+	c := loadScenario(t, "flame2d")
+	gotFields, gotSeries := runSCMDGolden(t, "phi", keys, func(f *cca.Framework) error {
+		return c.Build(f, asOverrides(flameGoldenParams)...)
+	})
+	for r := range refFields {
+		sameF64(t, "rank phi", gotFields[r], refFields[r])
+		for _, k := range keys {
+			sameF64(t, "rank series "+k, gotSeries[k][r], refSeries[k][r])
+		}
+	}
+}
+
+// TestGoldenShockScenario4Rank repeats the shock equivalence on 4 ranks.
+func TestGoldenShockScenario4Rank(t *testing.T) {
+	keys := []string{"t", "dt"}
+	refFields, refSeries := runSCMDGolden(t, "U", keys, func(f *cca.Framework) error {
+		return core.AssembleShockInterface(f, "GodunovFlux", shockGoldenParams...)
+	})
+	c := loadScenario(t, "shockinterface")
+	gotFields, gotSeries := runSCMDGolden(t, "U", keys, func(f *cca.Framework) error {
+		return c.Build(f, asOverrides(shockGoldenParams)...)
+	})
+	for r := range refFields {
+		sameF64(t, "rank U", gotFields[r], refFields[r])
+		for _, k := range keys {
+			sameF64(t, "rank series "+k, gotSeries[k][r], refSeries[k][r])
+		}
+	}
+}
+
+// small overrides that shrink the new scenarios to smoke-test size
+// without touching their physics parameters.
+func shrink(pairs ...string) []scenario.Param {
+	var out []scenario.Param
+	for i := 0; i+2 < len(pairs); i += 3 {
+		out = append(out, scenario.Param{Instance: pairs[i], Key: pairs[i+1], Value: pairs[i+2]})
+	}
+	return out
+}
+
+// TestKelvinHelmholtzScenarioRuns: the KH scenario is runnable end to
+// end and actually advances the shear layer.
+func TestKelvinHelmholtzScenarioRuns(t *testing.T) {
+	f := buildAndGo(t, loadScenario(t, "kelvin_helmholtz"), nil, shrink(
+		"grace", "nx", "32", "grace", "ny", "32", "driver", "maxSteps", "4")...)
+	if ts := statsSeries(t, f, "t"); len(ts) == 0 {
+		t.Fatal("no time series recorded")
+	}
+	if got, _ := f.ClassOf("ic"); got != "KelvinHelmholtzIC" {
+		t.Fatalf("ic class: %s", got)
+	}
+}
+
+// TestRichtmyerMeshkovScenarioRuns: the first sweep point of the RM
+// scenario runs end to end.
+func TestRichtmyerMeshkovScenarioRuns(t *testing.T) {
+	c := loadScenario(t, "richtmyer_meshkov")
+	pts := c.Expand()
+	if len(pts) != 3 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	if v, _ := pts[0].Param("driver", "maxSteps"); v != "10" {
+		t.Fatalf("first point maxSteps: %q", v)
+	}
+	f := buildAndGo(t, pts[0], nil, shrink(
+		"grace", "nx", "32", "grace", "ny", "16", "driver", "maxSteps", "4")...)
+	if ts := statsSeries(t, f, "t"); len(ts) == 0 {
+		t.Fatal("no time series recorded")
+	}
+}
+
+// TestFluxSweepScenarioPointsRun: every point of the flux-comparison
+// sweep runs end to end with its own flux component in the slot.
+func TestFluxSweepScenarioPointsRun(t *testing.T) {
+	c := loadScenario(t, "flux_sweep")
+	for _, p := range c.Expand() {
+		f := buildAndGo(t, p, nil, shrink(
+			"grace", "nx", "24", "grace", "ny", "24", "driver", "maxSteps", "3")...)
+		if got, _ := f.ClassOf("flux"); got != p.ClassOf("flux") {
+			t.Fatalf("flux class: %s, want %s", got, p.ClassOf("flux"))
+		}
+		if ts := statsSeries(t, f, "t"); len(ts) == 0 {
+			t.Fatalf("%s: no time series", p.ClassOf("flux"))
+		}
+	}
+}
+
+// TestIgnitionBatchScenarioRuns: two mechanism points of the ignition
+// batch run end to end and disagree on the trajectory (different
+// chemistry must actually reach the solver).
+func TestIgnitionBatchScenarioRuns(t *testing.T) {
+	c := loadScenario(t, "ignition_batch")
+	pts := c.Expand()
+	if len(pts) != 6 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	small := shrink("driver", "tEnd", "2e-5", "driver", "nOut", "3")
+	temps := make([][]float64, 2)
+	for i, p := range []*scenario.Compiled{pts[0], pts[2]} {
+		f := buildAndGo(t, p, nil, small...)
+		comp, err := f.Lookup("driver")
+		if err != nil {
+			t.Fatal(err)
+		}
+		temps[i] = comp.(*components.IgnitionDriver).Temps
+		if len(temps[i]) == 0 {
+			t.Fatalf("point %d recorded no temperatures", i)
+		}
+	}
+	if m0, _ := pts[0].Param("chem", "mech"); m0 != "h2air" {
+		t.Fatalf("point 0 mech: %q", m0)
+	}
+	if m2, _ := pts[2].Param("chem", "mech"); m2 != "h2air-lite" {
+		t.Fatalf("point 2 mech: %q", m2)
+	}
+	same := len(temps[0]) == len(temps[1])
+	if same {
+		for i := range temps[0] {
+			if temps[0][i] != temps[1][i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("h2air and h2air-lite produced identical trajectories")
+	}
+}

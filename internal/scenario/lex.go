@@ -1,0 +1,184 @@
+package scenario
+
+import "fmt"
+
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tWord
+	tString
+	tLBrace
+	tRBrace
+	tLBracket
+	tRBracket
+	tEq
+	tComma
+	tArrow
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tEOF:
+		return "end of file"
+	case tWord:
+		return "word"
+	case tString:
+		return "string"
+	case tLBrace:
+		return "'{'"
+	case tRBrace:
+		return "'}'"
+	case tLBracket:
+		return "'['"
+	case tRBracket:
+		return "']'"
+	case tEq:
+		return "'='"
+	case tComma:
+		return "','"
+	case tArrow:
+		return "'->'"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+// lexer walks the source byte by byte, tracking line/column. It never
+// fails destructively: illegal input surfaces as a Diag from next().
+type lexer struct {
+	file string
+	src  []byte
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(file string, src []byte) *lexer {
+	return &lexer{file: file, src: src, line: 1, col: 1}
+}
+
+func (lx *lexer) pos() Pos { return Pos{File: lx.file, Line: lx.line, Col: lx.col} }
+
+func (lx *lexer) peekByte() (byte, bool) {
+	if lx.off >= len(lx.src) {
+		return 0, false
+	}
+	return lx.src[lx.off], true
+}
+
+func (lx *lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// isWordByte reports bytes legal inside a bare word. '.' joins
+// instance.port references, '-'/'+' appear in numbers and mechanism
+// names like h2air-lite; the '-' of '->' is excluded by lookahead in
+// next().
+func isWordByte(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '.', c == '-', c == '+':
+		return true
+	}
+	return false
+}
+
+// next returns the next token, or a Diag on an illegal byte or an
+// unterminated string.
+func (lx *lexer) next() (token, *Diag) {
+	for {
+		c, ok := lx.peekByte()
+		if !ok {
+			return token{kind: tEOF, pos: lx.pos()}, nil
+		}
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+			continue
+		case c == '#':
+			for {
+				c, ok := lx.peekByte()
+				if !ok || c == '\n' {
+					break
+				}
+				_ = c
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	start := lx.pos()
+	c := lx.src[lx.off]
+	switch c {
+	case '{':
+		lx.advance()
+		return token{kind: tLBrace, text: "{", pos: start}, nil
+	case '}':
+		lx.advance()
+		return token{kind: tRBrace, text: "}", pos: start}, nil
+	case '[':
+		lx.advance()
+		return token{kind: tLBracket, text: "[", pos: start}, nil
+	case ']':
+		lx.advance()
+		return token{kind: tRBracket, text: "]", pos: start}, nil
+	case '=':
+		lx.advance()
+		return token{kind: tEq, text: "=", pos: start}, nil
+	case ',':
+		lx.advance()
+		return token{kind: tComma, text: ",", pos: start}, nil
+	case '"':
+		lx.advance()
+		var buf []byte
+		for {
+			c, ok := lx.peekByte()
+			if !ok || c == '\n' {
+				return token{}, &Diag{Pos: start, Msg: "unterminated string"}
+			}
+			lx.advance()
+			if c == '"' {
+				return token{kind: tString, text: string(buf), pos: start}, nil
+			}
+			buf = append(buf, c)
+		}
+	case '-':
+		if lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '>' {
+			lx.advance()
+			lx.advance()
+			return token{kind: tArrow, text: "->", pos: start}, nil
+		}
+	}
+	if !isWordByte(c) {
+		lx.advance()
+		return token{}, &Diag{Pos: start, Msg: fmt.Sprintf("unexpected character %q", string(c))}
+	}
+	startOff := lx.off
+	for lx.off < len(lx.src) {
+		c := lx.src[lx.off]
+		if !isWordByte(c) {
+			break
+		}
+		if c == '-' && lx.off+1 < len(lx.src) && lx.src[lx.off+1] == '>' {
+			break // leave '->' for the next token
+		}
+		lx.advance()
+	}
+	return token{kind: tWord, text: string(lx.src[startOff:lx.off]), pos: start}, nil
+}

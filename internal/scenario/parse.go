@@ -1,0 +1,287 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse reads a scenario file into its AST, checking syntax only.
+// Semantic validation (classes, ports, ranges) happens in Compile. The
+// returned error, when non-nil, is a DiagList whose entries all carry
+// positions.
+func Parse(path string, src []byte) (*File, error) {
+	p := &parser{lx: newLexer(path, src), file: &File{Path: path}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+type parser struct {
+	lx   *lexer
+	file *File
+	tok  token
+}
+
+func (p *parser) fail(pos Pos, format string, args ...any) error {
+	return DiagList{{Pos: pos, Msg: fmt.Sprintf(format, args...)}}
+}
+
+func (p *parser) advance() error {
+	t, d := p.lx.next()
+	if d != nil {
+		return DiagList{*d}
+	}
+	p.tok = t
+	return nil
+}
+
+// expect consumes the current token if it has the wanted kind.
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.fail(p.tok.pos, "expected %s %s, got %s", kind, what, p.describe())
+	}
+	t := p.tok
+	return t, p.advance()
+}
+
+func (p *parser) describe() string {
+	if p.tok.kind == tWord || p.tok.kind == tString {
+		return fmt.Sprintf("%q", p.tok.text)
+	}
+	return p.tok.kind.String()
+}
+
+// isIdent reports whether s is a plain identifier (instance, class, or
+// parameter name): a letter or underscore followed by letters, digits,
+// or underscores.
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ident consumes a word token and insists it is an identifier.
+func (p *parser) ident(what string) (string, Pos, error) {
+	t, err := p.expect(tWord, what)
+	if err != nil {
+		return "", Pos{}, err
+	}
+	if !isIdent(t.text) {
+		return "", t.pos, p.fail(t.pos, "invalid %s %q (want an identifier)", what, t.text)
+	}
+	return t.text, t.pos, nil
+}
+
+// ref consumes an instance.port (or instance.param) reference.
+func (p *parser) ref(what string) (inst, member string, pos Pos, err error) {
+	t, err := p.expect(tWord, what)
+	if err != nil {
+		return "", "", Pos{}, err
+	}
+	i := strings.IndexByte(t.text, '.')
+	if i < 0 || strings.IndexByte(t.text[i+1:], '.') >= 0 {
+		return "", "", t.pos, p.fail(t.pos, "invalid %s %q (want instance.name)", what, t.text)
+	}
+	inst, member = t.text[:i], t.text[i+1:]
+	if !isIdent(inst) || !isIdent(member) {
+		return "", "", t.pos, p.fail(t.pos, "invalid %s %q (want instance.name)", what, t.text)
+	}
+	return inst, member, t.pos, nil
+}
+
+// value consumes a bare word or quoted string.
+func (p *parser) value(what string) (Value, error) {
+	switch p.tok.kind {
+	case tWord:
+		v := Value{Pos: p.tok.pos, Text: p.tok.text}
+		return v, p.advance()
+	case tString:
+		v := Value{Pos: p.tok.pos, Text: p.tok.text, Quoted: true}
+		return v, p.advance()
+	}
+	return Value{}, p.fail(p.tok.pos, "expected %s, got %s", what, p.describe())
+}
+
+func (p *parser) run() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	for p.tok.kind != tEOF {
+		t, err := p.expect(tWord, "statement")
+		if err != nil {
+			return err
+		}
+		switch t.text {
+		case "scenario":
+			if p.file.Name != "" {
+				return p.fail(t.pos, "duplicate scenario declaration (first at %s)", p.file.NamePos)
+			}
+			name, pos, err := p.ident("scenario name")
+			if err != nil {
+				return err
+			}
+			p.file.Name, p.file.NamePos = name, pos
+		case "component":
+			if err := p.component(t.pos); err != nil {
+				return err
+			}
+		case "connect":
+			if err := p.connect(t.pos); err != nil {
+				return err
+			}
+		case "run":
+			if p.file.Run != nil {
+				return p.fail(t.pos, "duplicate run statement (first at %s)", p.file.Run.Pos)
+			}
+			inst, _, err := p.ident("run instance")
+			if err != nil {
+				return err
+			}
+			p.file.Run = &RunStmt{Pos: t.pos, Instance: inst}
+		case "sweep":
+			if p.file.Sweep != nil {
+				return p.fail(t.pos, "duplicate sweep block (first at %s)", p.file.Sweep.Pos)
+			}
+			if err := p.sweep(t.pos); err != nil {
+				return err
+			}
+		default:
+			return p.fail(t.pos, "unknown statement %q (want scenario, component, connect, run, or sweep)", t.text)
+		}
+	}
+	return nil
+}
+
+func (p *parser) component(pos Pos) error {
+	inst, _, err := p.ident("instance name")
+	if err != nil {
+		return err
+	}
+	class, classPos, err := p.ident("component class")
+	if err != nil {
+		return err
+	}
+	c := &ComponentStmt{Pos: pos, Instance: inst, Class: class, ClassPos: classPos}
+	if p.tok.kind == tLBrace {
+		if err := p.advance(); err != nil {
+			return err
+		}
+		for p.tok.kind != tRBrace {
+			key, keyPos, err := p.ident("parameter name")
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tEq, "after parameter name"); err != nil {
+				return err
+			}
+			v, err := p.value("parameter value")
+			if err != nil {
+				return err
+			}
+			c.Params = append(c.Params, &Setting{Pos: keyPos, Key: key, Value: v})
+		}
+		if err := p.advance(); err != nil { // consume '}'
+			return err
+		}
+	}
+	p.file.Comps = append(p.file.Comps, c)
+	return nil
+}
+
+func (p *parser) connect(pos Pos) error {
+	user, uses, _, err := p.ref("uses-port reference")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tArrow, "between ports"); err != nil {
+		return err
+	}
+	provider, provides, ppos, err := p.ref("provides-port reference")
+	if err != nil {
+		return err
+	}
+	p.file.Conns = append(p.file.Conns, &ConnectStmt{
+		Pos: pos, User: user, UsesPort: uses,
+		Provider: provider, ProvidesPort: provides, ProviderPos: ppos,
+	})
+	return nil
+}
+
+func (p *parser) sweep(pos Pos) error {
+	sw := &SweepStmt{Pos: pos}
+	if _, err := p.expect(tLBrace, "to open the sweep block"); err != nil {
+		return err
+	}
+	for p.tok.kind != tRBrace {
+		t, err := p.expect(tWord, "sweep axis (param or class)")
+		if err != nil {
+			return err
+		}
+		ax := &SweepAxis{Pos: t.pos, Kind: t.text}
+		switch t.text {
+		case "param":
+			inst, key, _, err := p.ref("sweep parameter reference")
+			if err != nil {
+				return err
+			}
+			ax.Instance, ax.Key = inst, key
+		case "class":
+			inst, _, err := p.ident("sweep instance")
+			if err != nil {
+				return err
+			}
+			ax.Instance = inst
+		default:
+			return p.fail(t.pos, "unknown sweep axis kind %q (want param or class)", t.text)
+		}
+		if _, err := p.expect(tEq, "after sweep axis"); err != nil {
+			return err
+		}
+		if _, err := p.expect(tLBracket, "to open the value list"); err != nil {
+			return err
+		}
+		for p.tok.kind != tRBracket {
+			v, err := p.value("sweep value")
+			if err != nil {
+				return err
+			}
+			ax.Values = append(ax.Values, v)
+			if p.tok.kind == tComma {
+				if err := p.advance(); err != nil {
+					return err
+				}
+			} else if p.tok.kind != tRBracket {
+				return p.fail(p.tok.pos, "expected ',' or ']' in sweep value list, got %s", p.describe())
+			}
+		}
+		if err := p.advance(); err != nil { // consume ']'
+			return err
+		}
+		if len(ax.Values) == 0 {
+			return p.fail(ax.Pos, "sweep axis has an empty value list")
+		}
+		sw.Axes = append(sw.Axes, ax)
+	}
+	if err := p.advance(); err != nil { // consume '}'
+		return err
+	}
+	if len(sw.Axes) == 0 {
+		return p.fail(pos, "sweep block has no axes")
+	}
+	p.file.Sweep = sw
+	return nil
+}

@@ -1,0 +1,200 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+const miniScenario = `# comment
+scenario mini
+component chem   ThermoChemistry { mech = h2air }
+component dpdt   DPDt
+component model  ProblemModeler
+component init   Initializer { T0 = 1100 }
+component cvode  CvodeComponent
+component stats  StatisticsComponent
+component driver IgnitionDriver { tEnd = 1e-4  nOut = 5 }
+connect dpdt.chemistry   -> chem.chemistry
+connect model.chemistry  -> chem.chemistry
+connect model.dpdt       -> dpdt.dpdt
+connect init.chemistry   -> chem.chemistry
+connect cvode.rhs        -> model.rhs
+connect driver.ic         -> init.ic
+connect driver.integrator -> cvode.integrator
+connect driver.chemistry  -> chem.chemistry
+connect driver.stats      -> stats.stats
+run driver
+`
+
+func TestParseStructure(t *testing.T) {
+	f, err := Parse("mini.scn", []byte(miniScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name != "mini" {
+		t.Fatalf("name = %q", f.Name)
+	}
+	if len(f.Comps) != 7 || len(f.Conns) != 9 {
+		t.Fatalf("got %d comps, %d conns", len(f.Comps), len(f.Conns))
+	}
+	if f.Comps[0].Instance != "chem" || f.Comps[0].Class != "ThermoChemistry" {
+		t.Fatalf("first component: %+v", f.Comps[0])
+	}
+	if f.Comps[6].Params[0].Key != "tEnd" || f.Comps[6].Params[0].Value.Text != "1e-4" {
+		t.Fatalf("driver params: %+v", f.Comps[6].Params[0])
+	}
+	cn := f.Conns[0]
+	if cn.User != "dpdt" || cn.UsesPort != "chemistry" || cn.Provider != "chem" || cn.ProvidesPort != "chemistry" {
+		t.Fatalf("first connection: %+v", cn)
+	}
+	if f.Run == nil || f.Run.Instance != "driver" {
+		t.Fatalf("run: %+v", f.Run)
+	}
+	// Positions are 1-based file:line:col; the scenario keyword is on
+	// line 2 of the source above.
+	if f.NamePos.Line != 2 {
+		t.Fatalf("scenario name position: %s", f.NamePos)
+	}
+}
+
+func TestParseQuotedValues(t *testing.T) {
+	src := `scenario q
+component driver IgnitionDriver { tEnd = "1e-4" }
+run driver
+`
+	f, err := Parse("q.scn", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := f.Comps[0].Params[0].Value
+	if v.Text != "1e-4" || !v.Quoted {
+		t.Fatalf("quoted value: %+v", v)
+	}
+}
+
+func TestParseSweepBlock(t *testing.T) {
+	src := `scenario s
+component driver IgnitionDriver
+run driver
+sweep {
+    param driver.tEnd = [1e-4, 2e-4]
+    class driver = [IgnitionDriver]
+}
+`
+	f, err := Parse("s.scn", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Sweep.Axes) != 2 {
+		t.Fatalf("axes: %d", len(f.Sweep.Axes))
+	}
+	ax := f.Sweep.Axes[0]
+	if ax.Kind != "param" || ax.Instance != "driver" || ax.Key != "tEnd" || len(ax.Values) != 2 {
+		t.Fatalf("param axis: %+v", ax)
+	}
+	if f.Sweep.Axes[1].Kind != "class" || f.Sweep.Axes[1].Instance != "driver" {
+		t.Fatalf("class axis: %+v", f.Sweep.Axes[1])
+	}
+}
+
+// TestParseSyntaxErrors: every syntax rejection carries a position.
+func TestParseSyntaxErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"scenario", "expected word scenario name, got end of file"},
+		{"scenario x\nbogus y", `unknown statement "bogus"`},
+		{"scenario x\ncomponent a", "expected word component class, got end of file"},
+		{"scenario x\ncomponent a B { k }", "expected '=' after parameter name"},
+		{"scenario x\nconnect a.b c.d", "expected '->' between ports"},
+		{"scenario x\nconnect ab -> c.d", `invalid uses-port reference "ab"`},
+		{"scenario x\nconnect a.b.c -> c.d", `invalid uses-port reference "a.b.c"`},
+		{"scenario x\nscenario y", "duplicate scenario declaration"},
+		{"scenario x\nrun a\nrun b", "duplicate run statement"},
+		{"scenario x\nsweep { }\nsweep { }", "sweep block has no axes"},
+		{"scenario x\nsweep { param a.b = [] }", "sweep axis has an empty value list"},
+		{"scenario x\nsweep { size a = [1] }", `unknown sweep axis kind "size"`},
+		{"scenario x\ncomponent a B { k = \"unterminated", "unterminated string"},
+		{"scenario x\ncomponent a B { k = @ }", "unexpected character"},
+	}
+	for _, tc := range cases {
+		_, err := Parse("t.scn", []byte(tc.src))
+		if err == nil {
+			t.Errorf("%q: no error", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q:\n got %v\nwant substring %q", tc.src, err, tc.want)
+		}
+		for _, d := range Diags(err) {
+			if d.Pos.Line == 0 {
+				t.Errorf("%q: diagnostic without a position: %v", tc.src, d)
+			}
+		}
+	}
+}
+
+// TestRenderRoundTrip: Render emits source that re-compiles to an
+// assembly with identical canonical lines.
+func TestRenderRoundTrip(t *testing.T) {
+	c, err := Compile("mini.scn", []byte(miniScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Compile("rendered.scn", []byte(c.Render()))
+	if err != nil {
+		t.Fatalf("rendered source does not compile: %v\n%s", err, c.Render())
+	}
+	a, b := c.CanonicalLines(), c2.CanonicalLines()
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("canonical lines changed across render round trip:\n%v\nvs\n%v", a, b)
+	}
+}
+
+// TestScriptLowering: the Ccaffeine-script form fires parameters before
+// instantiation and ends with the go command.
+func TestScriptLowering(t *testing.T) {
+	c, err := Compile("mini.scn", []byte(miniScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Script()
+	seenInstantiate := false
+	for _, cmd := range s.Commands {
+		switch cmd.Verb {
+		case "parameter":
+			if seenInstantiate {
+				t.Fatal("parameter command after instantiate: pending params would be lost")
+			}
+		case "instantiate":
+			seenInstantiate = true
+		}
+	}
+	last := s.Commands[len(s.Commands)-1]
+	if last.Verb != "go" || last.Args[0] != "driver" {
+		t.Fatalf("last command: %+v", last)
+	}
+}
+
+// TestCanonicalLinesNameInsensitive: the scenario name is not part of
+// the content address; parameter order is.
+func TestCanonicalLinesNameInsensitive(t *testing.T) {
+	renamed := strings.Replace(miniScenario, "scenario mini", "scenario other", 1)
+	a, err := Compile("a.scn", []byte(miniScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compile("b.scn", []byte(renamed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(a.CanonicalLines(), "\n") != strings.Join(b.CanonicalLines(), "\n") {
+		t.Fatal("renaming the scenario changed its canonical lines")
+	}
+	reordered := strings.Replace(miniScenario, "{ tEnd = 1e-4  nOut = 5 }", "{ nOut = 5  tEnd = 1e-4 }", 1)
+	c, err := Compile("c.scn", []byte(reordered))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(a.CanonicalLines(), "\n") != strings.Join(c.CanonicalLines(), "\n") {
+		t.Fatal("parameter order changed the canonical lines")
+	}
+}

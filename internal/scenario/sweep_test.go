@@ -1,0 +1,110 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSweepExpansion: cartesian product in declaration order with the
+// last axis varying fastest, param and class axes composing.
+func TestSweepExpansion(t *testing.T) {
+	src := miniScenario + `sweep {
+    param chem.mech = [h2air, h2air-lite]
+    param init.T0 = [1000, 1200, 1400]
+}
+`
+	c, err := Compile("s.scn", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SweepPoints() != 6 {
+		t.Fatalf("points = %d", c.SweepPoints())
+	}
+	pts := c.Expand()
+	if len(pts) != 6 {
+		t.Fatalf("expanded %d points", len(pts))
+	}
+	var order []string
+	for _, p := range pts {
+		mech, _ := p.Param("chem", "mech")
+		T0, _ := p.Param("init", "T0")
+		order = append(order, mech+"/"+T0)
+		if p.HasSweep() {
+			t.Fatal("expanded point still declares a sweep")
+		}
+	}
+	want := "h2air/1000 h2air/1200 h2air/1400 h2air-lite/1000 h2air-lite/1200 h2air-lite/1400"
+	if got := strings.Join(order, " "); got != want {
+		t.Fatalf("expansion order:\n got  %s\n want %s", got, want)
+	}
+}
+
+// TestSweepClassAxis: a class axis swaps the component class in its
+// slot, each point hashes to distinct canonical lines, and each point
+// renders to valid re-compilable source declaring the substituted
+// class. Uses the shipped flux-comparison scenario, whose three flux
+// schemes are genuinely port-compatible.
+func TestSweepClassAxis(t *testing.T) {
+	src, err := os.ReadFile(filepath.FromSlash("../../scenarios/flux_sweep.scn"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile("flux_sweep.scn", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Expand()
+	if len(pts) != 3 {
+		t.Fatalf("expanded %d points", len(pts))
+	}
+	wantClasses := []string{"GodunovFlux", "EFMFlux", "HLLCFlux"}
+	lines := map[string]bool{}
+	for i, p := range pts {
+		if got := p.ClassOf("flux"); got != wantClasses[i] {
+			t.Fatalf("point %d class: %s, want %s", i, got, wantClasses[i])
+		}
+		// Each class swap must change the content address.
+		lines[strings.Join(p.CanonicalLines(), "\n")] = true
+		p2, err := Compile("point.scn", []byte(p.Render()))
+		if err != nil {
+			t.Fatalf("point %d renders to rejected source: %v", i, err)
+		}
+		if p2.ClassOf("flux") != wantClasses[i] {
+			t.Fatalf("point %d render dropped the class swap", i)
+		}
+	}
+	if len(lines) != 3 {
+		t.Fatalf("class swaps collided: %d distinct canonical forms", len(lines))
+	}
+}
+
+// TestSweepCloneIndependence: mutating one expanded point must not leak
+// into its siblings or the parent — the server submits points as
+// independent jobs and bakes per-point duration defaults.
+func TestSweepCloneIndependence(t *testing.T) {
+	src := miniScenario + `sweep {
+    param init.T0 = [1000, 1200]
+}
+`
+	c, err := Compile("s.scn", []byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := c.Expand()
+	pts[0].SetParam("driver", "tEnd", "9e-1")
+	pts[0].SetParam("init", "P0", "5")
+	if v, _ := pts[1].Param("driver", "tEnd"); v != "1e-4" {
+		t.Fatalf("sibling saw the mutation: tEnd = %q", v)
+	}
+	if _, ok := pts[1].Param("init", "P0"); ok {
+		t.Fatal("sibling saw a parameter it never set")
+	}
+	if v, _ := c.Param("driver", "tEnd"); v != "1e-4" {
+		t.Fatalf("parent saw the mutation: tEnd = %q", v)
+	}
+	if v, _ := pts[1].Param("init", "T0"); v != "1200" {
+		t.Fatalf("point 1 lost its axis value: T0 = %q", v)
+	}
+}

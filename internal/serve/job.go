@@ -105,7 +105,7 @@ func (j *Job) statusLocked(withResult bool) Status {
 	st := Status{
 		ID:          j.ID,
 		State:       j.state,
-		Problem:     j.Spec.Problem,
+		Problem:     j.Spec.ProblemLabel(),
 		Priority:    j.Spec.Priority,
 		Key:         j.fullKey,
 		PrefixKey:   j.prefixKey,

@@ -79,9 +79,10 @@ func (s *Scheduler) attempt(spec Spec, ranks int, hub *telemetry.Hub, dir, resto
 	var mu sync.Mutex
 	var series map[string][]float64
 	counters := map[string]float64{}
+	req := spec.Request()
 	w := mpi.NewWorld(ranks, s.opts.Model)
 	res := cca.RunSCMDOn(w, s.repo, func(f *cca.Framework, comm *mpi.Comm) error {
-		if err := core.AssembleRequest(f, spec.Request()); err != nil {
+		if err := core.AssembleRequest(f, req); err != nil {
 			return err
 		}
 		if dir != "" {
@@ -95,7 +96,7 @@ func (s *Scheduler) attempt(spec Spec, ranks int, hub *telemetry.Hub, dir, resto
 			}
 		}
 		core.AttachTelemetry(f, hub.Rank(comm.Rank()), comm)
-		if err := f.Go("driver", "go"); err != nil {
+		if err := f.Go(core.RunInstance(req), "go"); err != nil {
 			return err
 		}
 		mu.Lock()
@@ -118,13 +119,24 @@ func (s *Scheduler) attempt(spec Spec, ranks int, hub *telemetry.Hub, dir, resto
 			}
 		}
 		if comm.Rank() == 0 {
-			if comp, err := f.Lookup("stats"); err == nil {
+			// Find the statistics sink by class, not by the fixed "stats"
+			// name the built-ins happen to use — scenarios name instances
+			// freely.
+			for _, name := range f.Instances() {
+				if cls, err := f.ClassOf(name); err != nil || cls != "StatisticsComponent" {
+					continue
+				}
+				comp, err := f.Lookup(name)
+				if err != nil {
+					continue
+				}
 				if sc, ok := comp.(*components.StatisticsComponent); ok {
 					m := map[string][]float64{}
 					for _, k := range sc.Keys() {
 						m[k] = sc.Get(k)
 					}
 					series = m
+					break
 				}
 			}
 		}
@@ -133,7 +145,7 @@ func (s *Scheduler) attempt(spec Spec, ranks int, hub *telemetry.Hub, dir, resto
 	if err := res.Err(); err != nil {
 		return nil, err
 	}
-	r := &Result{Problem: spec.Problem, Key: spec.FullKey(), Series: series, Counters: counters}
+	r := &Result{Problem: spec.ProblemLabel(), Key: spec.FullKey(), Series: series, Counters: counters}
 	r.Steps = len(series[spec.ProgressKey()])
 	return r, nil
 }

@@ -30,6 +30,11 @@ type Options struct {
 	Model mpi.NetworkModel
 	// MaxRetries bounds rank-failure retries per admission (default 2).
 	MaxRetries int
+	// StoreMax caps the result store's entry count; past it the least
+	// recently used result is evicted (memory and disk). 0 = unbounded.
+	// Checkpoint lineages are stored separately and never evicted, so
+	// warm starts survive result eviction.
+	StoreMax int
 }
 
 // ErrClosed is returned by Submit after Close.
@@ -60,7 +65,10 @@ type Scheduler struct {
 	byKey    map[string]*Job // active (non-terminal) job per full key
 	byPrefix map[string]*Job // running/preempting job per prefix key
 	reserved *Job            // queued job whose preemption is in flight: only it may be admitted
+	arrays   map[string]*Array
+	arrOrder []*Array
 	nextID   int
+	nextArr  int
 	closed   bool
 	wg       sync.WaitGroup
 }
@@ -91,7 +99,7 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 	if err := os.MkdirAll(ckdir, 0o755); err != nil {
 		return nil, err
 	}
-	store, err := NewStore(resultDir)
+	store, err := NewStore(resultDir, opts.StoreMax)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +112,7 @@ func NewScheduler(opts Options) (*Scheduler, error) {
 		free:     opts.Slots,
 		byKey:    map[string]*Job{},
 		byPrefix: map[string]*Job{},
+		arrays:   map[string]*Array{},
 	}, nil
 }
 
@@ -116,10 +125,14 @@ func (s *Scheduler) prefixDir(j *Job) string {
 
 // Submit validates, dedups, and enqueues a run. The returned job may
 // already be terminal (a stored result replayed as a cache hit) or
-// waiting (coalesced onto an identical in-flight job).
+// waiting (coalesced onto an identical in-flight job). A scenario with
+// a sweep block is a job array and must go through SubmitArray.
 func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	if err := spec.Normalize(); err != nil {
 		return nil, err
+	}
+	if spec.HasSweep() {
+		return nil, fmt.Errorf("serve: scenario declares a sweep (%d points); submit it as a job array", spec.SweepPoints())
 	}
 	if spec.Ranks > s.opts.Slots {
 		return nil, fmt.Errorf("serve: job wants %d ranks but the server has %d slots", spec.Ranks, s.opts.Slots)
@@ -129,6 +142,22 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	j := s.submitLocked(spec)
+	s.scheduleLocked()
+	return j, nil
+}
+
+// SweepPoints exposes the expansion size (1 without a sweep).
+func (sp *Spec) SweepPoints() int {
+	if sp.compiled == nil {
+		return 1
+	}
+	return sp.compiled.SweepPoints()
+}
+
+// submitLocked registers and dedups one normalized spec. Caller holds
+// the lock and reschedules afterwards.
+func (s *Scheduler) submitLocked(spec Spec) *Job {
 	s.nextID++
 	j := &Job{
 		ID:          fmt.Sprintf("job-%04d", s.nextID),
@@ -149,24 +178,118 @@ func (s *Scheduler) Submit(spec Spec) (*Job, error) {
 		j.cacheHit = true
 		j.result = r
 		close(j.done)
-		return j, nil
+		return j
 	}
 	// Dedup tier 2: an identical run is active — coalesce onto it.
 	if p := s.byKey[j.fullKey]; p != nil {
 		j.state = StateWaiting
 		j.primary = p
 		p.waiters = append(p.waiters, j)
-		return j, nil
+		return j
 	}
 	s.byKey[j.fullKey] = j
 	// Dedup tier 3: a shared-prefix run left checkpoints — warm-start
-	// from the longest prefix at or before this run's final step.
+	// from the longest prefix at or before this run's final step. The
+	// probe is repeated at admission time, where later checkpoints from
+	// a lineage sibling that ran in the meantime become visible.
 	s.probeRestore(j)
 	j.warmStart = j.restore != ""
 	j.state = StateQueued
 	s.queues[j.class] = append(s.queues[j.class], j)
+	return j
+}
+
+// Array is a submitted job array: one swept scenario expanded into its
+// cartesian product of points, each a full job with its own dedup keys.
+type Array struct {
+	ID       string
+	Scenario string
+	jobs     []*Job
+}
+
+// ArrayStatus is the wire view of a job array.
+type ArrayStatus struct {
+	ID       string `json:"id"`
+	Scenario string `json:"scenario"`
+	Points   int    `json:"points"`
+	// SharedPrefix is true when every point hashes to one prefix key —
+	// a duration-knob sweep, whose points chain warm starts down a
+	// single checkpoint lineage.
+	SharedPrefix bool     `json:"sharedPrefix"`
+	Jobs         []Status `json:"jobs"`
+}
+
+// SubmitArray expands a swept scenario into one job per point and
+// submits them all atomically (points are registered in sweep order,
+// last axis fastest). Points sharing a prefix key — a sweep over the
+// run-length knob — serialize onto one checkpoint lineage and each
+// warm-starts from the longest prefix its predecessors left behind.
+func (s *Scheduler) SubmitArray(spec Spec) (*Array, error) {
+	if err := spec.Normalize(); err != nil {
+		return nil, err
+	}
+	if spec.compiled == nil {
+		return nil, fmt.Errorf("serve: job arrays take a scenario spec")
+	}
+	if !spec.compiled.HasSweep() {
+		return nil, fmt.Errorf("serve: scenario declares no sweep; submit it as a single job")
+	}
+	if spec.Ranks > s.opts.Slots {
+		return nil, fmt.Errorf("serve: job wants %d ranks but the server has %d slots", spec.Ranks, s.opts.Slots)
+	}
+	points := spec.Expand()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	s.nextArr++
+	a := &Array{
+		ID:       fmt.Sprintf("array-%04d", s.nextArr),
+		Scenario: spec.compiled.Name,
+		jobs:     make([]*Job, 0, len(points)),
+	}
+	for _, p := range points {
+		a.jobs = append(a.jobs, s.submitLocked(p))
+	}
+	s.arrays[a.ID] = a
+	s.arrOrder = append(s.arrOrder, a)
 	s.scheduleLocked()
-	return j, nil
+	return a, nil
+}
+
+// arrayStatusLocked builds the wire view; caller holds the lock.
+func (a *Array) statusLocked() ArrayStatus {
+	st := ArrayStatus{ID: a.ID, Scenario: a.Scenario, Points: len(a.jobs), SharedPrefix: len(a.jobs) > 0}
+	for _, j := range a.jobs {
+		if j.prefixKey != a.jobs[0].prefixKey {
+			st.SharedPrefix = false
+		}
+		st.Jobs = append(st.Jobs, j.statusLocked(false))
+	}
+	return st
+}
+
+// ArrayStatus returns one array's status.
+func (s *Scheduler) ArrayStatus(id string) (ArrayStatus, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.arrays[id]
+	if !ok {
+		return ArrayStatus{}, false
+	}
+	return a.statusLocked(), true
+}
+
+// Arrays lists all job arrays in submission order.
+func (s *Scheduler) Arrays() []ArrayStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]ArrayStatus, 0, len(s.arrOrder))
+	for _, a := range s.arrOrder {
+		out = append(out, a.statusLocked())
+	}
+	return out
 }
 
 // probeRestore points j at the newest usable checkpoint in its prefix
@@ -412,6 +535,15 @@ func (s *Scheduler) scheduleLocked() {
 
 // admitLocked starts j on n ranks. Caller holds the lock.
 func (s *Scheduler) admitLocked(j *Job, n int) {
+	// Re-probe the checkpoint lineage: a shared-prefix sibling may have
+	// finished (and left checkpoints) after this job was submitted —
+	// array points swept over the duration knob chain warm starts this
+	// way, each admitted point restoring from the previous point's tail.
+	prev := j.restoreStep
+	s.probeRestore(j)
+	if j.restoreStep > prev && j.preemptions == 0 {
+		j.warmStart = true
+	}
 	j.ranks = n
 	j.state = StateRunning
 	j.gate = &ckpt.Gate{}

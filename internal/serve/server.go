@@ -17,6 +17,9 @@ import (
 //	GET  /jobs               list all jobs
 //	GET  /jobs/{id}          one job's status (result inlined when done)
 //	POST /jobs/{id}/cancel   stop a job at its next checkpoint boundary
+//	POST /arrays             submit a swept scenario Spec as a job array
+//	GET  /arrays             list all job arrays
+//	GET  /arrays/{id}        one array's status (per-point job statuses)
 //	GET  /jobs/{id}/series   stream the job's statistics series as
 //	                         NDJSON (live via its telemetry hub, or the
 //	                         stored result for completed/cache-hit jobs)
@@ -53,6 +56,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.status)
 	mux.HandleFunc("POST /jobs/{id}/cancel", s.cancel)
 	mux.HandleFunc("GET /jobs/{id}/{ep}", s.jobScope)
+	mux.HandleFunc("POST /arrays", s.submitArray)
+	mux.HandleFunc("GET /arrays", s.listArrays)
+	mux.HandleFunc("GET /arrays/{id}", s.arrayStatus)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	return mux
 }
@@ -101,6 +107,38 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Jobs())
+}
+
+func (s *Server) submitArray(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "serve: bad spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	a, err := s.sched.SubmitArray(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if err == ErrClosed {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	st, _ := s.sched.ArrayStatus(a.ID)
+	writeJSON(w, http.StatusAccepted, st)
+}
+
+func (s *Server) listArrays(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Arrays())
+}
+
+func (s *Server) arrayStatus(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.sched.ArrayStatus(r.PathValue("id"))
+	if !ok {
+		http.Error(w, "serve: no such array", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) status(w http.ResponseWriter, r *http.Request) {

@@ -7,13 +7,20 @@
 // patch-parallel loops over the one shared internal/exec epoch pool;
 // rank parallelism stays per-job in each job's private mpi.World.
 //
+// Jobs are either built-ins (Problem "ignition"/"flame"/"shock") or
+// declarative scenarios: a Spec may carry scenario source text, which
+// is compiled and statically validated at submission. A scenario with
+// a sweep block is a job array (POST /arrays): one spec expanding into
+// the cartesian product of its axes, every point a full job of its own.
+//
 // Content-addressed run dedup extends the FNV-1a fingerprint chain
 // (per-patch field fingerprints, checkpoint content IDs) up to whole
 // runs: a Spec hashes to a full key (every assembly-visible knob) and a
 // prefix key (the same minus the run-length knob). Identical
 // resubmissions are served from the result store or coalesced onto the
 // in-flight twin; near-identical ones (same prefix, different length)
-// restart from the longest shared checkpoint prefix.
+// restart from the longest shared checkpoint prefix — array points
+// swept over the duration knob chain warm starts down one lineage.
 package serve
 
 import (
@@ -21,8 +28,10 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"strings"
 
 	"ccahydro/internal/core"
+	"ccahydro/internal/scenario"
 )
 
 // Priority classes, lowest to highest. Weighted fairness shares slots
@@ -41,14 +50,20 @@ var classNames = map[string]int{"batch": ClassBatch, "normal": ClassNormal, "hig
 
 // Spec is one run request as submitted over the wire.
 type Spec struct {
-	// Problem selects the assembly: "ignition", "flame", or "shock".
-	Problem string `json:"problem"`
+	// Problem selects a built-in assembly: "ignition", "flame", or
+	// "shock". Empty when Scenario is set.
+	Problem string `json:"problem,omitempty"`
 	// Flux is the shock problem's flux component swap ("GodunovFlux",
 	// the default, or "EFMFlux").
 	Flux string `json:"flux,omitempty"`
 	// Params are instance parameters, instance -> key -> value,
 	// applied before instantiation (the Ccaffeine "parameter" verb).
 	Params map[string]map[string]string `json:"params,omitempty"`
+	// Scenario is declarative scenario source text (see
+	// internal/scenario), mutually exclusive with Problem/Flux/Params.
+	// It is compiled and fully validated at submission; a sweep block
+	// makes the spec a job array and is accepted only via SubmitArray.
+	Scenario string `json:"scenario,omitempty"`
 	// Ranks is the requested SPMD rank count (default 1). A resumed
 	// job may be restarted on fewer ranks when capacity is tight; the
 	// elastic restore path keeps the results bit-identical.
@@ -59,6 +74,10 @@ type Spec struct {
 	// It bounds preemption latency: a job can only stop at a step
 	// boundary, and only checkpointable problems can stop early at all.
 	CkptEvery int `json:"ckptEvery,omitempty"`
+
+	// compiled is the validated scenario (set by Normalize, or directly
+	// for expanded sweep points).
+	compiled *scenario.Compiled
 }
 
 // durationParam names the per-problem run-length knob — the one knob
@@ -66,6 +85,8 @@ type Spec struct {
 // a checkpoint lineage. For the shock problem that is maxSteps, not
 // tEnd: the driver clamps the final dt against tEnd, so state at a
 // given step is tEnd-dependent and tEnd must stay in the prefix key.
+// Scenario specs take the same knob from the run target's driver-class
+// schema instead.
 var durationParam = map[string]string{"flame": "steps", "shock": "maxSteps"}
 
 // durationDefault mirrors the drivers' defaults so an explicit
@@ -80,8 +101,20 @@ var progressKey = map[string]string{"flame": "cells", "shock": "t", "ignition": 
 // priority, cadence, and the duration parameter, which must be explicit
 // so content hashing and prefix probing agree on the run length).
 func (sp *Spec) Normalize() error {
-	if err := core.ValidRequest(core.RunRequest{Problem: sp.Problem, Flux: sp.Flux}); err != nil {
-		return err
+	if sp.compiled == nil && sp.Scenario != "" {
+		if sp.Problem != "" || sp.Flux != "" || sp.Params != nil {
+			return fmt.Errorf("serve: scenario spec must not also set problem/flux/params")
+		}
+		c, err := scenario.Compile("scenario", []byte(sp.Scenario))
+		if err != nil {
+			return fmt.Errorf("serve: bad scenario:\n%w", err)
+		}
+		sp.compiled = c
+	}
+	if sp.compiled == nil {
+		if err := core.ValidRequest(core.RunRequest{Problem: sp.Problem, Flux: sp.Flux}); err != nil {
+			return err
+		}
 	}
 	if sp.Ranks == 0 {
 		sp.Ranks = 1
@@ -101,24 +134,52 @@ func (sp *Spec) Normalize() error {
 	if sp.CkptEvery < 0 {
 		return fmt.Errorf("serve: bad checkpoint cadence %d", sp.CkptEvery)
 	}
-	if dk, ok := durationParam[sp.Problem]; ok {
-		v := sp.param("driver", dk, durationDefault[sp.Problem])
+	if inst, dk, dflt := sp.durationKnob(); dk != "" {
+		v := sp.param(inst, dk, dflt)
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			return fmt.Errorf("serve: bad driver %s %q", dk, v)
+			return fmt.Errorf("serve: bad %s %s %q", inst, dk, v)
 		}
-		if sp.Params == nil {
-			sp.Params = map[string]map[string]string{}
+		if sp.compiled != nil {
+			sp.compiled.SetParam(inst, dk, strconv.Itoa(n))
+		} else {
+			if sp.Params == nil {
+				sp.Params = map[string]map[string]string{}
+			}
+			if sp.Params[inst] == nil {
+				sp.Params[inst] = map[string]string{}
+			}
+			sp.Params[inst][dk] = strconv.Itoa(n)
 		}
-		if sp.Params["driver"] == nil {
-			sp.Params["driver"] = map[string]string{}
-		}
-		sp.Params["driver"][dk] = strconv.Itoa(n)
 	}
 	return nil
 }
 
+// durationKnob locates the run-length knob: the instance carrying it,
+// its key, and its default ("" key when the problem has none).
+func (sp *Spec) durationKnob() (inst, key, dflt string) {
+	if sp.compiled != nil {
+		dk := sp.compiled.DurationParam()
+		if dk == "" {
+			return "", "", ""
+		}
+		dflt, _ := scenario.DefaultParam(sp.compiled.ClassOf(sp.compiled.RunInstance()), dk)
+		return sp.compiled.RunInstance(), dk, dflt
+	}
+	dk, ok := durationParam[sp.Problem]
+	if !ok {
+		return "", "", ""
+	}
+	return "driver", dk, durationDefault[sp.Problem]
+}
+
 func (sp *Spec) param(instance, key, dflt string) string {
+	if sp.compiled != nil {
+		if v, ok := sp.compiled.Param(instance, key); ok {
+			return v
+		}
+		return dflt
+	}
 	if m := sp.Params[instance]; m != nil {
 		if v, ok := m[key]; ok {
 			return v
@@ -130,28 +191,54 @@ func (sp *Spec) param(instance, key, dflt string) string {
 // Class returns the numeric priority class.
 func (sp *Spec) Class() int { return classNames[sp.Priority] }
 
+// HasSweep reports whether the spec is a job array (a scenario with a
+// sweep block).
+func (sp *Spec) HasSweep() bool { return sp.compiled != nil && sp.compiled.HasSweep() }
+
+// ProblemLabel is the display name of the assembly: the built-in
+// problem, or "scenario:<name>".
+func (sp *Spec) ProblemLabel() string {
+	if sp.compiled != nil {
+		return "scenario:" + sp.compiled.Name
+	}
+	return sp.Problem
+}
+
 // TargetStep is the last 0-based driver step the run executes, or -1
 // when the problem has no step-indexed checkpoints. A prefix restart
 // must restore at or before this step — a later checkpoint describes
 // state this (shorter) run never reaches.
 func (sp *Spec) TargetStep() int {
-	dk, ok := durationParam[sp.Problem]
-	if !ok {
+	inst, dk, dflt := sp.durationKnob()
+	if dk == "" {
 		return -1
 	}
-	n, _ := strconv.Atoi(sp.param("driver", dk, durationDefault[sp.Problem]))
+	n, _ := strconv.Atoi(sp.param(inst, dk, dflt))
 	return n - 1
 }
 
 // Checkpointable reports whether this job can be preempted and resumed.
-func (sp *Spec) Checkpointable() bool { return core.Checkpointable(sp.Problem) }
+func (sp *Spec) Checkpointable() bool {
+	if sp.compiled != nil {
+		return sp.compiled.Checkpointable()
+	}
+	return core.Checkpointable(sp.Problem)
+}
 
 // ProgressKey returns the per-step series counting completed steps.
-func (sp *Spec) ProgressKey() string { return progressKey[sp.Problem] }
+func (sp *Spec) ProgressKey() string {
+	if sp.compiled != nil {
+		return sp.compiled.ProgressKey()
+	}
+	return progressKey[sp.Problem]
+}
 
 // Request lowers the spec to the core assembly request. Parameters are
 // emitted in sorted (instance, key) order so assembly is deterministic.
 func (sp *Spec) Request() core.RunRequest {
+	if sp.compiled != nil {
+		return core.RunRequest{Problem: core.ScenarioProblem, Scenario: sp.compiled}
+	}
 	req := core.RunRequest{Problem: sp.Problem, Flux: sp.Flux}
 	var insts []string
 	for inst := range sp.Params {
@@ -169,6 +256,28 @@ func (sp *Spec) Request() core.RunRequest {
 		}
 	}
 	return req
+}
+
+// Expand materializes a job array's points as independent specs (a
+// spec without a sweep expands to itself). Each point inherits the
+// base spec's scheduling knobs; its Scenario text is re-rendered so
+// statuses show the concrete point.
+func (sp *Spec) Expand() []Spec {
+	if sp.compiled == nil {
+		return []Spec{*sp}
+	}
+	points := sp.compiled.Expand()
+	out := make([]Spec, len(points))
+	for i, p := range points {
+		out[i] = Spec{
+			Scenario:  p.Render(),
+			Ranks:     sp.Ranks,
+			Priority:  sp.Priority,
+			CkptEvery: sp.CkptEvery,
+			compiled:  p,
+		}
+	}
+	return out
 }
 
 // hashLines folds canonical lines through FNV-1a 64 — the same hash
@@ -198,14 +307,17 @@ func (sp *Spec) FullKey() string {
 // checkpoint lineage and a shorter/longer resubmission restarts from
 // the longest shared checkpoint prefix.
 func (sp *Spec) PrefixKey() string {
-	dk, ok := durationParam[sp.Problem]
-	if !ok {
+	inst, dk, _ := sp.durationKnob()
+	if dk == "" {
 		return sp.FullKey()
 	}
-	drop := "driver/" + dk + "="
+	drop := inst + "/" + dk + "="
+	if sp.compiled != nil {
+		drop = "param/" + drop
+	}
 	var lines []string
 	for _, l := range core.CanonicalRequestLines(sp.Request()) {
-		if len(l) >= len(drop) && l[:len(drop)] == drop {
+		if strings.HasPrefix(l, drop) {
 			continue
 		}
 		lines = append(lines, l)

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/list"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -13,34 +14,79 @@ import (
 // per key so a restarted server keeps serving cache hits. Writes go
 // through a temp-file rename, so a crashed write never leaves a
 // half-result behind.
+//
+// The store is bounded: past max entries it evicts in LRU order (Get
+// counts as use), deleting both the memory entry and the on-disk file.
+// Checkpoint lineages live elsewhere (under the scheduler's ckpt root,
+// keyed by prefix), so evicting a result never breaks warm starts — a
+// resubmission of an evicted key misses the store but still restores
+// from the lineage's newest checkpoint.
 type Store struct {
 	mu  sync.Mutex
 	dir string
-	mem map[string]*Result
+	max int // entry cap; 0 = unbounded
+	mem map[string]*list.Element
+	lru list.List // front = most recently used; values are *storeEntry
+
+	evictions int
+}
+
+type storeEntry struct {
+	key string
+	res *Result
 }
 
 // NewStore opens (creating if needed) a store rooted at dir; dir ""
-// keeps results in memory only.
-func NewStore(dir string) (*Store, error) {
+// keeps results in memory only. max bounds the entry count (0 for
+// unbounded).
+func NewStore(dir string, max int) (*Store, error) {
 	if dir != "" {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	return &Store{dir: dir, mem: map[string]*Result{}}, nil
+	if max < 0 {
+		return nil, fmt.Errorf("serve: bad store cap %d", max)
+	}
+	s := &Store{dir: dir, max: max, mem: map[string]*list.Element{}}
+	s.lru.Init()
+	return s, nil
 }
 
 func (s *Store) path(key string) string {
 	return filepath.Join(s.dir, key+".json")
 }
 
+// touch records a hit or insert for key, then trims past the cap.
+// Caller holds the lock.
+func (s *Store) touch(key string, r *Result) *Result {
+	if el, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*storeEntry).res
+	}
+	s.mem[key] = s.lru.PushFront(&storeEntry{key: key, res: r})
+	for s.max > 0 && s.lru.Len() > s.max {
+		oldest := s.lru.Back()
+		e := oldest.Value.(*storeEntry)
+		s.lru.Remove(oldest)
+		delete(s.mem, e.key)
+		if s.dir != "" {
+			os.Remove(s.path(e.key))
+		}
+		s.evictions++
+	}
+	return r
+}
+
 // Get returns the stored result for key, consulting memory first and
 // the directory second (reloading results a previous process wrote).
+// A hit makes the entry most recently used.
 func (s *Store) Get(key string) (*Result, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if r, ok := s.mem[key]; ok {
-		return r, true
+	if el, ok := s.mem[key]; ok {
+		s.lru.MoveToFront(el)
+		return el.Value.(*storeEntry).res, true
 	}
 	if s.dir == "" {
 		return nil, false
@@ -53,15 +99,20 @@ func (s *Store) Get(key string) (*Result, bool) {
 	if err := json.Unmarshal(b, &r); err != nil {
 		return nil, false
 	}
-	s.mem[key] = &r
-	return &r, true
+	return s.touch(key, &r), true
 }
 
-// Put records the result under key.
+// Put records the result under key, evicting the least recently used
+// entry if the cap is exceeded.
 func (s *Store) Put(key string, r *Result) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.mem[key] = r
+	if el, ok := s.mem[key]; ok {
+		el.Value.(*storeEntry).res = r
+		s.lru.MoveToFront(el)
+	} else {
+		s.touch(key, r)
+	}
 	if s.dir == "" {
 		return nil
 	}
@@ -80,9 +131,18 @@ func (s *Store) Put(key string, r *Result) error {
 	return nil
 }
 
-// Len counts results known in memory (loaded or stored this process).
+// Len counts results currently resident (loaded or stored and not yet
+// evicted).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.mem)
+	return s.lru.Len()
+}
+
+// Evictions counts entries dropped by the LRU cap since the store
+// opened.
+func (s *Store) Evictions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.evictions
 }

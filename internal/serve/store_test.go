@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func storeResult(tag string) *Result {
+	return &Result{Problem: tag, Series: map[string][]float64{"t": {1, 2}}}
+}
+
+// TestStoreLRUEviction: the result store holds at most max entries,
+// Get counts as use, and eviction removes both the memory entry and
+// the on-disk file.
+func TestStoreLRUEviction(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"a", "b"} {
+		if err := st.Put(k, storeResult(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch "a" so "b" is now least recently used.
+	if _, ok := st.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	if err := st.Put("c", storeResult("c")); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 2 || st.Evictions() != 1 {
+		t.Fatalf("len %d evictions %d, want 2 and 1", st.Len(), st.Evictions())
+	}
+	if _, ok := st.Get("b"); ok {
+		t.Fatal("least recently used entry survived")
+	}
+	if _, ok := st.Get("a"); !ok {
+		t.Fatal("recently used entry was evicted")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "b.json")); !os.IsNotExist(err) {
+		t.Fatalf("evicted entry's file survived: %v", err)
+	}
+	// The eviction is real: a fresh store over the same dir cannot
+	// reload the evicted key.
+	st2, err := NewStore(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.Get("b"); ok {
+		t.Fatal("evicted result reloaded from disk")
+	}
+	if _, ok := st2.Get("c"); !ok {
+		t.Fatal("surviving result did not reload from disk")
+	}
+}
+
+func TestStoreUnboundedAndBadCap(t *testing.T) {
+	st, err := NewStore("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		st.Put(fmt.Sprintf("k%d", i), storeResult("x"))
+	}
+	if st.Len() != 50 || st.Evictions() != 0 {
+		t.Fatalf("unbounded store evicted: len %d evictions %d", st.Len(), st.Evictions())
+	}
+	if _, err := NewStore("", -1); err == nil {
+		t.Fatal("negative cap accepted")
+	}
+}
+
+// TestWarmStartSurvivesEviction: evicting a result from the bounded
+// store must not break its checkpoint lineage — a resubmission misses
+// the cache but still warm-starts instead of recomputing from step 0.
+func TestWarmStartSurvivesEviction(t *testing.T) {
+	s, err := NewScheduler(Options{Slots: 1, Dir: t.TempDir(), StoreMax: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+
+	short, err := s.Submit(flameSpec(2, 1, "normal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, short.ID); st.State != StateDone {
+		t.Fatalf("short run: %+v", st)
+	}
+
+	// An unrelated run fills the single store slot, evicting the flame
+	// result (but not its checkpoints).
+	other, err := s.Submit(ignSpec("1e-4"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, s, other.ID); st.State != StateDone {
+		t.Fatalf("filler run: %+v", st)
+	}
+	if s.store.Evictions() == 0 {
+		t.Fatal("store never evicted; the survival assertion below is vacuous")
+	}
+
+	// Not even a cache hit for the evicted flame...
+	again, err := s.Submit(flameSpec(2, 1, "normal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, s, again.ID)
+	if st.CacheHit {
+		t.Fatalf("evicted result still served as a cache hit: %+v", st)
+	}
+	// ...but the lineage survived: the rerun restores instead of
+	// recomputing everything.
+	if !st.WarmStart {
+		t.Fatalf("eviction destroyed the checkpoint lineage: %+v", st)
+	}
+	if got := len(st.Result.Series["cells"]); got != 2 {
+		t.Fatalf("rerun holds %d steps of history, want 2", got)
+	}
+}

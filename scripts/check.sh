@@ -17,7 +17,12 @@
 # (TestServeLiveSmoke boots ccaserve's scheduler+HTTP stack, submits
 # two concurrent jobs plus a duplicate, and asserts the duplicate is a
 # zero-step cache hit; TestAcceptancePreemptResume drives the
-# preempt/elastic-resume scenario end to end).
+# preempt/elastic-resume scenario end to end). The scenario gate
+# parse-validates every file in scenarios/ against the component
+# schema, replays the hand-built fuzz corpus through the parser (the
+# seeds run even without a fuzzing budget), and holds the golden
+# equivalence claim: each built-in problem's scenario file reproduces
+# the hard-coded assembly bit for bit, serially and on 4 SCMD ranks.
 # Run from the repo root:
 #
 #   sh scripts/check.sh
@@ -53,7 +58,10 @@ echo "== go test -race (epoch engine + drivers + message substrate + observabili
 go test -race ./internal/exec/... ./internal/components/... ./internal/core/... \
 	./internal/mpi/... ./internal/field/... ./internal/obs/... ./internal/cca/... \
 	./internal/ckpt/... ./internal/chem/... ./internal/rkc/... ./internal/telemetry/... \
-	./internal/serve/...
+	./internal/serve/... ./internal/scenario/...
+
+echo "== scenario gate (library parse-validates, fuzz corpus replays, golden bit-for-bit equivalence)"
+go test -run 'TestScenarioLibraryCompiles|FuzzParseScenario|TestGolden' -count=1 ./internal/scenario/
 
 echo "== telemetry endpoint smoke (live /metrics /healthz /series /trace on a 4-rank run)"
 go test -run 'TestTelemetryEndpointsLiveFlame|TestTelemetryFaultFlightRecorder' -count=1 ./internal/core/
